@@ -1,0 +1,234 @@
+(* doall: run message-delay-sensitive Do-All algorithms under adversarial
+   simulation from the command line.
+
+     doall list
+     doall run --algo da-q4 --adv lb-det -p 32 -t 256 -d 16
+     doall run --algo paran1 --adv fair -p 8 -t 64 -d 4 --trace
+     doall sweep --algo padet --adv max-delay -p 32 -t 256 --delays 1,4,16,64
+     doall contention -n 6 --count 6 *)
+
+open Cmdliner
+open Doall_core
+open Doall_analysis
+
+let pos_int ~what v =
+  if v <= 0 then `Error (Printf.sprintf "%s must be positive" what) else `Ok v
+
+let p_arg =
+  Arg.(value & opt int 16 & info [ "p"; "processors" ] ~docv:"P"
+         ~doc:"Number of processors.")
+
+let t_arg =
+  Arg.(value & opt int 128 & info [ "t"; "tasks" ] ~docv:"T"
+         ~doc:"Number of tasks.")
+
+let d_arg =
+  Arg.(value & opt int 8 & info [ "d"; "delay" ] ~docv:"D"
+         ~doc:"Adversary's message-delay bound (unknown to the algorithms).")
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Master seed.")
+
+let algo_arg =
+  Arg.(value & opt string "da-q4" & info [ "algo" ] ~docv:"NAME"
+         ~doc:"Algorithm name; see $(b,doall list).")
+
+let adv_arg =
+  Arg.(value & opt string "fair" & info [ "adv" ] ~docv:"NAME"
+         ~doc:"Adversary name; see $(b,doall list).")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ]
+         ~doc:"Record and print the per-processor timeline (small runs).")
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let doc = "List available algorithms and adversaries." in
+  let run () =
+    print_endline "Algorithms:";
+    List.iter
+      (fun s ->
+        Printf.printf "  %-10s %s\n" s.Runner.algo_name s.Runner.doc)
+      (Runner.all_algorithms ());
+    print_endline "";
+    print_endline "Adversaries:";
+    List.iter
+      (fun s -> Printf.printf "  %-18s %s\n" s.Runner.adv_name s.Runner.adv_doc)
+      Runner.adversaries
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run one algorithm against one adversary and print metrics." in
+  let run algo adv p t d seed trace =
+    match (pos_int ~what:"p" p, pos_int ~what:"t" t) with
+    | `Error e, _ | _, `Error e -> prerr_endline e; exit 2
+    | `Ok p, `Ok t ->
+      if trace then begin
+        let result, tr = Runner.run_traced ~seed ~algo ~adv ~p ~t ~d () in
+        Format.printf "%a@." Doall_sim.Metrics.pp result.Runner.metrics;
+        let until = min 120 (result.Runner.metrics.Doall_sim.Metrics.sigma + 1) in
+        Format.printf "%a" Doall_sim.Trace.pp_timeline (tr, p, until);
+        Format.printf
+          "legend: # task step, o bookkeeping step, . delayed, H halt, X crash@."
+      end
+      else begin
+        let result = Runner.run ~seed ~algo ~adv ~p ~t ~d () in
+        Format.printf "%a@." Doall_sim.Metrics.pp result.Runner.metrics;
+        let m = result.Runner.metrics in
+        Format.printf "bounds: lower=%.0f pa-upper=%.0f oblivious=%.0f@."
+          (Bounds.lower_bound ~p ~t ~d)
+          (Bounds.pa_upper ~p ~t ~d)
+          (Bounds.oblivious_work ~p ~t);
+        Format.printf "effort (W+M) = %d@." (Doall_sim.Metrics.effort m)
+      end
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ algo_arg $ adv_arg $ p_arg $ t_arg $ d_arg $ seed_arg
+          $ trace_arg)
+
+let delays_arg =
+  Arg.(value & opt (list int) [ 1; 2; 4; 8; 16; 32; 64 ]
+       & info [ "delays" ] ~docv:"D1,D2,.." ~doc:"Delay bounds to sweep.")
+
+let sweep_cmd =
+  let doc = "Sweep the delay bound and tabulate work/messages." in
+  let run algo adv p t delays seed =
+    let tbl =
+      Table.create ~title:(Printf.sprintf "%s vs %s, p=%d t=%d" algo adv p t)
+        ~columns:[ "d"; "work"; "messages"; "sigma"; "redundant";
+                   "lower-bound"; "W/LB" ]
+    in
+    List.iter
+      (fun d ->
+        let r = Runner.run ~seed ~algo ~adv ~p ~t ~d () in
+        let m = r.Runner.metrics in
+        let lb = Bounds.lower_bound ~p ~t ~d in
+        Table.add_row tbl
+          [
+            Table.cell_int d;
+            Table.cell_int m.Doall_sim.Metrics.work;
+            Table.cell_int m.Doall_sim.Metrics.messages;
+            Table.cell_int m.Doall_sim.Metrics.sigma;
+            Table.cell_int (Doall_sim.Metrics.redundant m);
+            Table.cell_float lb;
+            Table.cell_ratio (float_of_int m.Doall_sim.Metrics.work) lb;
+          ])
+      delays;
+    Table.print tbl
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const run $ algo_arg $ adv_arg $ p_arg $ t_arg $ delays_arg
+          $ seed_arg)
+
+let compare_cmd =
+  let doc = "Run several algorithms on one instance and tabulate them." in
+  let algos_arg =
+    Arg.(value
+         & opt (list string) [ "trivial"; "da-q4"; "paran1"; "padet"; "coord" ]
+         & info [ "algos" ] ~docv:"A,B,.." ~doc:"Algorithms to compare.")
+  in
+  let run algos adv p t d seed =
+    let tbl =
+      Table.create
+        ~title:(Printf.sprintf "comparison vs %s, p=%d t=%d d=%d" adv p t d)
+        ~columns:
+          [ "algorithm"; "work"; "messages"; "effort"; "sigma"; "redundant" ]
+    in
+    List.iter
+      (fun algo ->
+        let r = Runner.run ~seed ~algo ~adv ~p ~t ~d () in
+        let m = r.Runner.metrics in
+        Table.add_row tbl
+          [
+            algo;
+            Table.cell_int m.Doall_sim.Metrics.work;
+            Table.cell_int m.Doall_sim.Metrics.messages;
+            Table.cell_int (Doall_sim.Metrics.effort m);
+            Table.cell_int m.Doall_sim.Metrics.sigma;
+            Table.cell_int (Doall_sim.Metrics.redundant m);
+          ])
+      algos;
+    Table.add_note tbl
+      (Printf.sprintf "oblivious baseline p*t = %d; delay-sensitive lower \
+                       bound = %.0f"
+         (p * t)
+         (Bounds.lower_bound ~p ~t ~d));
+    Table.print tbl
+  in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const run $ algos_arg $ adv_arg $ p_arg $ t_arg $ d_arg $ seed_arg)
+
+let lemma32_cmd =
+  let doc = "Numerically verify Lemma 3.2 (Appendix A) over a range of u." in
+  let umax_arg =
+    Arg.(value & opt int 2000 & info [ "u-max" ] ~docv:"U"
+           ~doc:"Largest u to scan.")
+  in
+  let run u_max =
+    match Lemma32.first_counterexample ~u_max with
+    | None ->
+      Printf.printf
+        "Lemma 3.2 verified: for all 2 <= u <= %d and 1 <= d <= sqrt u,\n\
+        \  C(u-d, u/(d+1)) / C(u, u/(d+1)) >= 1/4 and the proof's sandwich \
+         holds.\n"
+        u_max;
+      List.iter
+        (fun (u, d) ->
+          Printf.printf "  sample: u=%-6d d=%-4d ratio=%.4f\n" u d
+            (Lemma32.ratio ~u ~d))
+        [ (100, 1); (100, 10); (10_000, 100); (u_max, 1) ]
+    | Some (u, d) ->
+      Printf.printf "COUNTEREXAMPLE: u=%d d=%d ratio=%.6f\n" u d
+        (Lemma32.ratio ~u ~d);
+      exit 1
+  in
+  Cmd.v (Cmd.info "lemma32" ~doc) Term.(const run $ umax_arg)
+
+let contention_cmd =
+  let doc = "Search for a low-contention permutation list and report it." in
+  let n_arg =
+    Arg.(value & opt int 4 & info [ "n" ] ~docv:"N"
+           ~doc:"Permutation size (2..8 for certified search).")
+  in
+  let run n seed =
+    let rng = Doall_sim.Rng.create seed in
+    let cert = Doall_perms.Search.certified ~rng n in
+    Printf.printf "n=%d  Cont(psi)=%d  bound 3nH_n=%.2f\n" n
+      cert.Doall_perms.Search.contention cert.Doall_perms.Search.bound;
+    List.iteri
+      (fun i pi ->
+        Format.printf "  pi_%d = %a@." i Doall_perms.Perm.pp pi)
+      cert.Doall_perms.Search.list;
+    (* exact d-contention profile: how the Lemma 6.1 work bound relaxes
+       as the delay budget grows *)
+    let profile =
+      Array.init (n + 1) (fun d ->
+          if d = 0 then 0
+          else
+            Doall_perms.Contention.d_contention_exact ~d
+              cert.Doall_perms.Search.list)
+    in
+    print_endline "exact (d)-Cont profile (the PA work bound per Lemma 6.1):";
+    for d = 1 to n do
+      Printf.printf "  d=%-2d  %d\n" d profile.(d)
+    done;
+    let points =
+      List.init n (fun i ->
+          (float_of_int (i + 1), float_of_int profile.(i + 1)))
+    in
+    print_string
+      (Plot.render ~width:40 ~height:10
+         [ { Plot.label = "(d)-Cont(psi)"; points } ])
+  in
+  Cmd.v (Cmd.info "contention" ~doc) Term.(const run $ n_arg $ seed_arg)
+
+let main =
+  let doc = "message-delay-sensitive Do-All algorithms (Kowalski-Shvartsman)" in
+  Cmd.group (Cmd.info "doall" ~doc)
+    [ list_cmd; run_cmd; sweep_cmd; compare_cmd; contention_cmd; lemma32_cmd ]
+
+let () =
+  Doall_quorum.Register.install ();
+  exit (Cmd.eval main)

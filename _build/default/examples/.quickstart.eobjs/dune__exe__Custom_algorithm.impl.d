@@ -1,0 +1,1 @@
+examples/custom_algorithm.ml: Algorithm Bitset Config Doall_analysis Doall_core Doall_sim Engine List Metrics Printf Runner Table

@@ -1,0 +1,1 @@
+examples/delay_storm.ml: Bounds Doall_analysis Doall_core Doall_sim List Printf Runner Table

@@ -1,0 +1,1 @@
+examples/delay_storm.mli:

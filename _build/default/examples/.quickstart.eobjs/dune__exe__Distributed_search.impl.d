@@ -1,0 +1,1 @@
+examples/distributed_search.ml: Algo_pa Algorithm Config Crash Delay Doall_adversary Doall_core Doall_sim Doall_workload Engine Format Fun List Metrics Printf Schedule Workload

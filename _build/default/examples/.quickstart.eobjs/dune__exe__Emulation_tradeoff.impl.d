@@ -1,0 +1,1 @@
+examples/emulation_tradeoff.ml: Algo_awq Algo_da Config Doall_analysis Doall_core Doall_quorum Doall_sim Engine List Metrics Plot Printf Runner

@@ -1,0 +1,1 @@
+examples/emulation_tradeoff.mli:

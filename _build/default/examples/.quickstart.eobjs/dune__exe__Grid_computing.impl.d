@@ -1,0 +1,1 @@
+examples/grid_computing.ml: Algo_da Algo_pa Algo_trivial Config Crash Delay Doall_adversary Doall_analysis Doall_core Doall_sim Engine List Metrics Printf Schedule Table

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adversary Algo_da Config Doall_core Doall_sim Engine Format List Metrics Runner Trace

@@ -1,0 +1,1 @@
+lib/adversary/crash.ml: Adversary Delay Doall_sim Fun List Rng

@@ -1,0 +1,1 @@
+lib/adversary/crash.mli: Adversary Doall_sim

@@ -1,0 +1,1 @@
+lib/adversary/delay.ml: Adversary Doall_sim Rng

@@ -1,0 +1,1 @@
+lib/adversary/delay.mli: Adversary Doall_sim

@@ -1,0 +1,1 @@
+lib/adversary/lb_deterministic.ml: Adversary Array Doall_sim Hashtbl List Printf

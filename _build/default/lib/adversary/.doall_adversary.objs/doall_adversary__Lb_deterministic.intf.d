@@ -1,0 +1,1 @@
+lib/adversary/lb_deterministic.mli: Adversary Doall_sim

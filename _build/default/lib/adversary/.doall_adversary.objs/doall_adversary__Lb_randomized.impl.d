@@ -1,0 +1,1 @@
+lib/adversary/lb_randomized.ml: Adversary Array Doall_sim Hashtbl List Printf Rng

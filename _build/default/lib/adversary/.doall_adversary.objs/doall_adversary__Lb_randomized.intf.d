@@ -1,0 +1,1 @@
+lib/adversary/lb_randomized.mli: Adversary Doall_sim

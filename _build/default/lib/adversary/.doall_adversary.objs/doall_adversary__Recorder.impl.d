@@ -1,0 +1,1 @@
+lib/adversary/recorder.ml: Adversary Array Doall_sim List

@@ -1,0 +1,1 @@
+lib/adversary/recorder.mli: Adversary Doall_sim

@@ -1,0 +1,1 @@
+lib/adversary/schedule.ml: Adversary Array Delay Doall_sim Rng

@@ -1,0 +1,1 @@
+lib/adversary/schedule.mli: Adversary Delay Doall_sim

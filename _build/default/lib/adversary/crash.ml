@@ -1,0 +1,38 @@
+open Doall_sim
+
+type t = Adversary.oracle -> int list
+
+let none = Adversary.no_crash
+
+let at_time ~time ~pids (o : Adversary.oracle) =
+  if o.time () = time then pids else []
+
+let all_but_one ~survivor ~time (o : Adversary.oracle) =
+  if o.time () = time then
+    List.filter (fun pid -> pid <> survivor) (List.init o.p Fun.id)
+  else []
+
+let poisson ~rate (o : Adversary.oracle) =
+  List.filter
+    (fun pid -> o.alive pid && Rng.float o.rng 1.0 < rate)
+    (List.init o.p Fun.id)
+
+let staggered ~every (o : Adversary.oracle) =
+  if every < 1 then invalid_arg "Crash.staggered: every >= 1";
+  if o.time () mod every = 0 && o.time () > 0 then begin
+    let rec lowest pid =
+      if pid >= o.p then []
+      else if o.alive pid then [ pid ]
+      else lowest (pid + 1)
+    in
+    lowest 0
+  end
+  else []
+
+let into ~name crash =
+  {
+    Adversary.name;
+    schedule = Adversary.all_active;
+    delay = Delay.immediate;
+    crash;
+  }

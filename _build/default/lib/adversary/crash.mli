@@ -1,0 +1,29 @@
+(** Crash-failure patterns.
+
+    The model admits any pattern of crash failures with at least one
+    surviving processor (the engine enforces the survivor rule). Crashes
+    can be seen as infinite delays; algorithms must remain correct and
+    their work bounds hold regardless. *)
+
+open Doall_sim
+
+type t = Adversary.oracle -> int list
+
+val none : t
+
+val at_time : time:int -> pids:int list -> t
+(** Crash exactly [pids] at [time]. *)
+
+val all_but_one : survivor:int -> time:int -> t
+(** At [time], crash every processor except [survivor] — the adversary's
+    strongest legal crash pattern. *)
+
+val poisson : rate:float -> t
+(** Each unit, each live processor crashes independently with probability
+    [rate] (engine keeps the last one alive). *)
+
+val staggered : every:int -> t
+(** Crash the lowest live pid every [every] time units. *)
+
+val into : name:string -> t -> Adversary.t
+(** Wrap with fair scheduling and immediate delivery. *)

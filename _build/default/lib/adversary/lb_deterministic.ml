@@ -1,0 +1,87 @@
+open Doall_sim
+
+type internal = {
+  mutable stage_end : int;
+  mutable stage_len : int;
+  mutable delayed : bool array;
+  mutable history : (int * int * int list) list;
+}
+
+let stage_length (o : Adversary.oracle) = max 1 (min o.d (o.t / 6))
+
+let begin_stage st (o : Adversary.oracle) =
+  let now = o.time () in
+  let delta = stage_length o in
+  st.stage_len <- delta;
+  st.stage_end <- now + delta;
+  let undone = o.undone () in
+  let us = List.length undone in
+  if us = 0 then st.delayed <- Array.make o.p false
+  else begin
+    (* J_s(i): tasks from U_s processor i would perform this stage in
+       isolation. *)
+    let plans =
+      Array.init o.p (fun pid ->
+          if o.alive pid && not (o.halted pid) then
+            List.filter (fun z -> not (o.task_done z)) (o.plan ~pid ~horizon:delta)
+          else [])
+    in
+    let coverage = Hashtbl.create (2 * us) in
+    List.iter (fun z -> Hashtbl.replace coverage z 0) undone;
+    Array.iter
+      (List.iter (fun z ->
+           match Hashtbl.find_opt coverage z with
+           | Some c -> Hashtbl.replace coverage z (c + 1)
+           | None -> ()))
+      plans;
+    let js_size = max 1 (us / (3 * delta)) in
+    let by_coverage =
+      List.sort
+        (fun a b ->
+          compare (Hashtbl.find coverage a, a) (Hashtbl.find coverage b, b))
+        undone
+    in
+    let js = List.filteri (fun i _ -> i < js_size) by_coverage in
+    let js_tbl = Hashtbl.create 16 in
+    List.iter (fun z -> Hashtbl.replace js_tbl z ()) js;
+    let delayed =
+      Array.init o.p (fun pid ->
+          List.exists (fun z -> Hashtbl.mem js_tbl z) plans.(pid))
+    in
+    st.delayed <- delayed;
+    st.history <- (now, us, js) :: st.history;
+    o.note
+      (Printf.sprintf "stage@%d: u_s=%d delta=%d |J_s|=%d delayed=%d" now us
+         delta (List.length js)
+         (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 delayed))
+  end
+
+(* Keyed on the adversary value so [stages_of] can retrieve diagnostics. *)
+let registry : (string, internal) Hashtbl.t = Hashtbl.create 8
+let next_id = ref 0
+
+let create () =
+  incr next_id;
+  let key = Printf.sprintf "lb-det-%d" !next_id in
+  let st =
+    { stage_end = 0; stage_len = 1; delayed = [||]; history = [] }
+  in
+  Hashtbl.replace registry key st;
+  let schedule (o : Adversary.oracle) =
+    if o.time () >= st.stage_end then begin
+      if o.time () = 0 then st.history <- [];
+      begin_stage st o
+    end;
+    if Array.length st.delayed <> o.p then st.delayed <- Array.make o.p false;
+    Array.map not st.delayed
+  in
+  let delay (o : Adversary.oracle) ~src:_ ~dst:_ =
+    (* Deliver at the end of the current stage. *)
+    max 1 (st.stage_end - o.time ())
+  in
+  { Adversary.name = key; schedule; delay; crash = Adversary.no_crash }
+
+let stages_of (adv : Adversary.t) =
+  match Hashtbl.find_opt registry adv.Adversary.name with
+  | Some st -> List.rev st.history
+  | None -> []

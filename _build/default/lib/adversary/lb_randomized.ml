@@ -1,0 +1,96 @@
+open Doall_sim
+
+type internal = {
+  mutable stage_end : int;
+  mutable js : (int, unit) Hashtbl.t;
+  mutable delayed : bool array; (* delayed-until-stage-end flags *)
+  mutable history : (int * int * int list) list;
+}
+
+let stage_length (o : Adversary.oracle) = max 1 (min o.d (max 1 (o.t / 6)))
+
+let pick_js selection st (o : Adversary.oracle) =
+  let now = o.time () in
+  let delta = stage_length o in
+  st.stage_end <- now + delta;
+  st.delayed <- Array.make o.p false;
+  let undone = o.undone () in
+  let us = List.length undone in
+  let js_size = max 1 (us / (delta + 1)) in
+  let js_list =
+    if us = 0 then []
+    else
+      match selection with
+      | `Random ->
+        let arr = Array.of_list undone in
+        Rng.shuffle o.rng arr;
+        Array.to_list (Array.sub arr 0 (min js_size (Array.length arr)))
+      | `Coverage ->
+        let coverage = Hashtbl.create (2 * us) in
+        List.iter (fun z -> Hashtbl.replace coverage z 0) undone;
+        for pid = 0 to o.p - 1 do
+          if o.alive pid && not (o.halted pid) then
+            List.iter
+              (fun z ->
+                match Hashtbl.find_opt coverage z with
+                | Some c -> Hashtbl.replace coverage z (c + 1)
+                | None -> ())
+              (o.plan ~pid ~horizon:delta)
+        done;
+        let by_coverage =
+          List.sort
+            (fun a b ->
+              compare
+                (Hashtbl.find coverage a, a)
+                (Hashtbl.find coverage b, b))
+            undone
+        in
+        List.filteri (fun i _ -> i < js_size) by_coverage
+  in
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun z -> Hashtbl.replace tbl z ()) js_list;
+  st.js <- tbl;
+  if us > 0 then begin
+    st.history <- (now, us, js_list) :: st.history;
+    o.note
+      (Printf.sprintf "stage@%d: u_s=%d delta=%d |J_s|=%d" now us delta
+         (List.length js_list))
+  end
+
+let registry : (string, internal) Hashtbl.t = Hashtbl.create 8
+let next_id = ref 0
+
+let create ?(selection = `Coverage) () =
+  incr next_id;
+  let key = Printf.sprintf "lb-rand-%d" !next_id in
+  let st =
+    { stage_end = 0; js = Hashtbl.create 1; delayed = [||]; history = [] }
+  in
+  Hashtbl.replace registry key st;
+  let schedule (o : Adversary.oracle) =
+    if o.time () >= st.stage_end then begin
+      if o.time () = 0 then st.history <- [];
+      pick_js selection st o
+    end;
+    if Array.length st.delayed <> o.p then st.delayed <- Array.make o.p false;
+    (* Online rule: the moment a processor selects a J_s task, delay it
+       for the rest of the stage. *)
+    Array.init o.p (fun pid ->
+        if st.delayed.(pid) then false
+        else if not (o.alive pid) || o.halted pid then false
+        else
+          match o.would_perform pid with
+          | Some task when Hashtbl.mem st.js task ->
+            st.delayed.(pid) <- true;
+            false
+          | Some _ | None -> true)
+  in
+  let delay (o : Adversary.oracle) ~src:_ ~dst:_ =
+    max 1 (st.stage_end - o.time ())
+  in
+  { Adversary.name = key; schedule; delay; crash = Adversary.no_crash }
+
+let stages_of (adv : Adversary.t) =
+  match Hashtbl.find_opt registry adv.Adversary.name with
+  | Some st -> List.rev st.history
+  | None -> []

@@ -1,0 +1,69 @@
+open Doall_sim
+
+type tape = {
+  mutable schedules : bool array list; (* reversed *)
+  mutable delays : int list; (* reversed *)
+  mutable crashes : int list list; (* reversed *)
+}
+
+let wrap (adv : Adversary.t) =
+  let tape = { schedules = []; delays = []; crashes = [] } in
+  let recording =
+    {
+      Adversary.name = adv.Adversary.name ^ "+rec";
+      schedule =
+        (fun o ->
+          let mask = adv.Adversary.schedule o in
+          tape.schedules <- Array.copy mask :: tape.schedules;
+          mask);
+      delay =
+        (fun o ~src ~dst ->
+          let delta = adv.Adversary.delay o ~src ~dst in
+          tape.delays <- delta :: tape.delays;
+          delta);
+      crash =
+        (fun o ->
+          let pids = adv.Adversary.crash o in
+          tape.crashes <- pids :: tape.crashes;
+          pids);
+    }
+  in
+  (recording, tape)
+
+let replay tape =
+  let schedules = Array.of_list (List.rev tape.schedules) in
+  let delays = Array.of_list (List.rev tape.delays) in
+  let crashes = Array.of_list (List.rev tape.crashes) in
+  let si = ref 0 and di = ref 0 and ci = ref 0 in
+  {
+    Adversary.name = "replay";
+    schedule =
+      (fun o ->
+        if !si < Array.length schedules then begin
+          let mask = schedules.(!si) in
+          incr si;
+          if Array.length mask = o.Adversary.p then Array.copy mask
+          else Array.make o.Adversary.p true
+        end
+        else Array.make o.Adversary.p true);
+    delay =
+      (fun _ ~src:_ ~dst:_ ->
+        if !di < Array.length delays then begin
+          let d = delays.(!di) in
+          incr di;
+          d
+        end
+        else 1);
+    crash =
+      (fun _ ->
+        if !ci < Array.length crashes then begin
+          let pids = crashes.(!ci) in
+          incr ci;
+          pids
+        end
+        else []);
+  }
+
+let decisions tape =
+  List.length tape.schedules + List.length tape.delays
+  + List.length tape.crashes

@@ -1,0 +1,35 @@
+(** Record and replay adversary decisions.
+
+    An adversary is three streams of decisions — schedule masks, message
+    delays, crash lists. {!wrap} taps those streams into a {!tape} while
+    delegating to the original adversary; {!replay} turns a tape back
+    into an adversary that deals the identical decisions without needing
+    the original (or its lookahead oracle queries, which can be
+    expensive — a replayed lower-bound run costs no clone lookaheads).
+
+    Uses: forensics on adversarially-found failures (capture the exact
+    execution a fuzzer or lower-bound adversary produced, then re-run it
+    under a debugger or with tracing on), decision-level regression
+    pinning, and cheap re-measurement of expensive adversaries.
+
+    Replay fidelity requires the replayed run to issue the same
+    {e sequence} of decisions queries — same algorithm, same seed, same
+    (p, t, d). Exhausting the tape (e.g. replaying against a different
+    algorithm) falls back to fair defaults rather than failing, so
+    replay is always safe, just no longer faithful. *)
+
+open Doall_sim
+
+type tape
+
+val wrap : Adversary.t -> Adversary.t * tape
+(** [wrap adv] is a recording adversary behaving exactly like [adv], and
+    the (live) tape it writes. Read the tape only after the run. *)
+
+val replay : tape -> Adversary.t
+(** A fresh adversary dealing the tape's decisions in order. Each call
+    to [replay] produces an independent cursor, so one tape can be
+    replayed many times. *)
+
+val decisions : tape -> int
+(** Total recorded decisions (schedule + delay + crash calls). *)

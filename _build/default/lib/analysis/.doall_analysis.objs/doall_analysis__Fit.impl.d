@@ -1,0 +1,1 @@
+lib/analysis/fit.ml: Bounds List

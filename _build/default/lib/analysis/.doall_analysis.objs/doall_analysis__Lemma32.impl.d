@@ -1,0 +1,1 @@
+lib/analysis/lemma32.ml: Float

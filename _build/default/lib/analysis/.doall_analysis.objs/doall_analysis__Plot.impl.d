@@ -1,0 +1,1 @@
+lib/analysis/plot.ml: Array Buffer Bytes Float List Printf String

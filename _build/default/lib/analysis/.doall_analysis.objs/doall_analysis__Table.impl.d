@@ -1,0 +1,1 @@
+lib/analysis/table.ml: Array Buffer Float Fun List Printf String

@@ -1,0 +1,33 @@
+let log_base ~base x =
+  let base = max 1.000001 base in
+  let x = max 1.0 x in
+  log x /. log base
+
+let lower_bound ~p ~t ~d =
+  let pf = float_of_int p and tf = float_of_int t and df = float_of_int d in
+  tf
+  +. (pf *. Float.min df tf *. log_base ~base:(df +. 1.0) (df +. tf))
+
+let oblivious_work ~p ~t = float_of_int (p * t)
+
+let da_upper ~p ~t ~d ~epsilon =
+  let pf = float_of_int p and tf = float_of_int t and df = float_of_int d in
+  (tf *. (pf ** epsilon))
+  +. (pf *. Float.min tf df *. (Float.ceil (tf /. df) ** epsilon))
+
+let pa_upper ~p ~t ~d =
+  let pf = float_of_int p and tf = float_of_int t and df = float_of_int d in
+  let n = Float.min pf tf in
+  (tf *. log (max 2.0 n))
+  +. (pf *. Float.min tf df *. log (2.0 +. (tf /. df)))
+
+let da_message_upper ~p ~work = float_of_int p *. work
+
+let pa_message_upper ~p ~t ~d =
+  float_of_int p *. pa_upper ~p ~t ~d
+
+let epsilon_of_q ~q =
+  let qf = float_of_int q in
+  log_base ~base:qf (4.0 *. log qf)
+
+let subquadratic_threshold ~p:_ ~t = float_of_int t

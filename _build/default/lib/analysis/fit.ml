@@ -1,0 +1,72 @@
+type model = {
+  model_name : string;
+  predict : p:int -> t:int -> d:int -> float;
+}
+
+let candidates =
+  [
+    {
+      model_name = "t (delay-free)";
+      predict = (fun ~p:_ ~t ~d:_ -> float_of_int t);
+    };
+    {
+      model_name = "lower bound";
+      predict = (fun ~p ~t ~d -> Bounds.lower_bound ~p ~t ~d);
+    };
+    {
+      model_name = "pa upper";
+      predict = (fun ~p ~t ~d -> Bounds.pa_upper ~p ~t ~d);
+    };
+    {
+      model_name = "da upper (e=0.3)";
+      predict = (fun ~p ~t ~d -> Bounds.da_upper ~p ~t ~d ~epsilon:0.3);
+    };
+    {
+      model_name = "linear p*d";
+      predict = (fun ~p ~t ~d -> float_of_int (t + (p * d)));
+    };
+    {
+      model_name = "quadratic p*t";
+      predict = (fun ~p ~t ~d:_ -> float_of_int (p * t));
+    };
+  ]
+
+type fitted = { model : model; constant : float; r2 : float }
+
+let fit_one model ~p ~t points =
+  if points = [] then invalid_arg "Fit.fit_one: no points";
+  let shapes = List.map (fun (d, _) -> model.predict ~p ~t ~d) points in
+  List.iter
+    (fun s -> if s <= 0.0 then invalid_arg "Fit.fit_one: non-positive shape")
+    shapes;
+  let ws = List.map snd points in
+  (* least squares through the origin: c = sum(w*s) / sum(s^2) *)
+  let num = List.fold_left2 (fun acc w s -> acc +. (w *. s)) 0.0 ws shapes in
+  let den = List.fold_left (fun acc s -> acc +. (s *. s)) 0.0 shapes in
+  let c = if den <= 0.0 then 0.0 else num /. den in
+  let wbar =
+    List.fold_left ( +. ) 0.0 ws /. float_of_int (List.length ws)
+  in
+  let ss_tot =
+    List.fold_left (fun acc w -> acc +. ((w -. wbar) ** 2.0)) 0.0 ws
+  in
+  let ss_res =
+    List.fold_left2
+      (fun acc w s -> acc +. ((w -. (c *. s)) ** 2.0))
+      0.0 ws shapes
+  in
+  let r2 =
+    if ss_tot < 1e-9 then if ss_res < 1e-9 then 1.0 else 0.0
+    else 1.0 -. (ss_res /. ss_tot)
+  in
+  { model; constant = c; r2 }
+
+let rank ~p ~t points =
+  List.sort
+    (fun a b -> compare b.r2 a.r2)
+    (List.map (fun m -> fit_one m ~p ~t points) candidates)
+
+let best ~p ~t points =
+  match rank ~p ~t points with
+  | [] -> invalid_arg "Fit.best: no candidates"
+  | f :: _ -> f

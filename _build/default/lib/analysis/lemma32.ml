@@ -1,0 +1,47 @@
+let check_args ~u ~d =
+  if d < 1 then invalid_arg "Lemma32: d >= 1";
+  if u < d + 1 then invalid_arg "Lemma32: u >= d + 1"
+
+let ratio ~u ~d =
+  check_args ~u ~d;
+  let k = u / (d + 1) in
+  (* C(u-d, k) / C(u, k) = prod_{i=0}^{k-1} (u - d - i) / (u - i) *)
+  let acc = ref 0.0 in
+  for i = 0 to k - 1 do
+    acc := !acc +. log (float_of_int (u - d - i)) -. log (float_of_int (u - i))
+  done;
+  exp !acc
+
+let sandwich ~u ~d =
+  check_args ~u ~d;
+  let k = u / (d + 1) in
+  let kf = float_of_int k
+  and df = float_of_int d
+  and uf = float_of_int u in
+  let lower = (1.0 -. (df /. (uf -. kf +. 1.0))) ** kf in
+  let upper = (1.0 -. (df /. uf)) ** kf in
+  (lower, upper)
+
+let holds ~u ~d =
+  let r = ratio ~u ~d in
+  let lower, upper = sandwich ~u ~d in
+  let eps = 1e-9 in
+  lower <= r +. eps
+  && r <= upper +. eps
+  && r >= 0.25 -. eps
+  && upper >= (1.0 /. Float.exp 1.0) -. eps
+
+let first_counterexample ~u_max =
+  let found = ref None in
+  (try
+     for u = 2 to u_max do
+       let dmax = int_of_float (sqrt (float_of_int u)) in
+       for d = 1 to min dmax (u - 1) do
+         if not (holds ~u ~d) then begin
+           found := Some (u, d);
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  !found

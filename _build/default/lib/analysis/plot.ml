@@ -1,0 +1,89 @@
+type series = { label : string; points : (float * float) list }
+
+let marks = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+let mark_of i = marks.(i mod Array.length marks)
+
+let render ?(width = 56) ?(height = 16) ?(logx = false) ?(logy = false)
+    ?title series =
+  let tx v = if logx then log v else v in
+  let ty v = if logy then log v else v in
+  let usable =
+    List.map
+      (fun s ->
+        let points =
+          List.filter
+            (fun (x, y) -> ((not logx) || x > 0.0) && ((not logy) || y > 0.0))
+            s.points
+        in
+        { s with points })
+      series
+  in
+  let all = List.concat_map (fun s -> s.points) usable in
+  if all = [] then ""
+  else begin
+    let xs = List.map fst all and ys = List.map snd all in
+    let fold f = function
+      | [] -> assert false
+      | v :: rest -> List.fold_left f v rest
+    in
+    let xmin = fold Float.min xs
+    and xmax = fold Float.max xs
+    and ymin = fold Float.min ys
+    and ymax = fold Float.max ys in
+    let sx = tx xmin and sy = ty ymin in
+    let wx = Float.max 1e-9 (tx xmax -. sx) in
+    let wy = Float.max 1e-9 (ty ymax -. sy) in
+    let grid = Array.init height (fun _ -> Bytes.make width ' ') in
+    List.iteri
+      (fun i s ->
+        let mark = mark_of i in
+        List.iter
+          (fun (x, y) ->
+            let cx =
+              int_of_float ((tx x -. sx) /. wx *. float_of_int (width - 1))
+            in
+            let cy =
+              int_of_float ((ty y -. sy) /. wy *. float_of_int (height - 1))
+            in
+            let row = height - 1 - cy in
+            if row >= 0 && row < height && cx >= 0 && cx < width then
+              Bytes.set grid.(row) cx mark)
+          s.points)
+      usable;
+    let buf = Buffer.create ((width + 16) * (height + 4)) in
+    (match title with
+     | Some t -> Buffer.add_string buf (t ^ "\n")
+     | None -> ());
+    let ylab v = Printf.sprintf "%10.4g" v in
+    Array.iteri
+      (fun row line ->
+        let label =
+          if row = 0 then ylab ymax
+          else if row = height - 1 then ylab ymin
+          else String.make 10 ' '
+        in
+        Buffer.add_string buf label;
+        Buffer.add_string buf " |";
+        Buffer.add_bytes buf line;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (String.make 11 ' ');
+    Buffer.add_char buf '+';
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "%11s %.4g%s%.4g%s\n" "" xmin
+         (String.make (max 1 (width - 12)) ' ')
+         xmax
+         (if logx || logy then
+            Printf.sprintf "  [%s%s]"
+              (if logx then "log-x" else "")
+              (if logy then (if logx then ",log-y" else "log-y") else "")
+          else ""));
+    List.iteri
+      (fun i s ->
+        Buffer.add_string buf
+          (Printf.sprintf "%11s %c %s\n" "" (mark_of i) s.label))
+      usable;
+    Buffer.contents buf
+  end

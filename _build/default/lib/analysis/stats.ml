@@ -1,0 +1,83 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  ci95 : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let median xs =
+  match xs with
+  | [] -> invalid_arg "Stats.median: empty"
+  | _ ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | _ ->
+    let n = List.length xs in
+    let m = mean xs in
+    let var =
+      if n < 2 then 0.0
+      else
+        List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+        /. float_of_int (n - 1)
+    in
+    let sd = sqrt var in
+    {
+      count = n;
+      mean = m;
+      stddev = sd;
+      min = List.fold_left Float.min infinity xs;
+      max = List.fold_left Float.max neg_infinity xs;
+      median = median xs;
+      ci95 = 1.96 *. sd /. sqrt (float_of_int n);
+    }
+
+type fit = { slope : float; intercept : float; r2 : float }
+
+let linear_fit pairs =
+  let n = List.length pairs in
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least two points";
+  let nf = float_of_int n in
+  let sx = List.fold_left (fun acc (x, _) -> acc +. x) 0.0 pairs in
+  let sy = List.fold_left (fun acc (_, y) -> acc +. y) 0.0 pairs in
+  let sxx = List.fold_left (fun acc (x, _) -> acc +. (x *. x)) 0.0 pairs in
+  let sxy = List.fold_left (fun acc (x, y) -> acc +. (x *. y)) 0.0 pairs in
+  let denom = (nf *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-12 then
+    invalid_arg "Stats.linear_fit: degenerate x values";
+  let slope = ((nf *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. nf in
+  let ybar = sy /. nf in
+  let ss_tot =
+    List.fold_left (fun acc (_, y) -> acc +. ((y -. ybar) ** 2.0)) 0.0 pairs
+  in
+  let ss_res =
+    List.fold_left
+      (fun acc (x, y) ->
+        let fy = (slope *. x) +. intercept in
+        acc +. ((y -. fy) ** 2.0))
+      0.0 pairs
+  in
+  let r2 = if ss_tot < 1e-12 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+  { slope; intercept; r2 }
+
+let loglog_fit pairs =
+  let usable =
+    List.filter_map
+      (fun (x, y) -> if x > 0.0 && y > 0.0 then Some (log x, log y) else None)
+      pairs
+  in
+  linear_fit usable

@@ -1,0 +1,77 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list; (* reversed *)
+  mutable notes : string list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = []; notes = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- row :: t.rows
+
+let add_note t note = t.notes <- note :: t.notes
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  let pad i cell =
+    let w = widths.(i) in
+    let pad_len = w - String.length cell in
+    if i = 0 then cell ^ String.make pad_len ' '
+    else String.make pad_len ' ' ^ cell
+  in
+  let emit_row row =
+    Buffer.add_string buf
+      (String.concat "  " (List.mapi pad row));
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.columns;
+  Buffer.add_string buf
+    (String.concat "  "
+       (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  List.iter
+    (fun n -> Buffer.add_string buf ("  * " ^ n ^ "\n"))
+    (List.rev t.notes);
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  let emit row =
+    Buffer.add_string buf (String.concat "," (List.map csv_escape row));
+    Buffer.add_char buf '\n'
+  in
+  emit t.columns;
+  List.iter emit (List.rev t.rows);
+  Buffer.contents buf
+
+let write_csv t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv t))
+
+let cell_int = string_of_int
+
+let cell_float ?(decimals = 1) x = Printf.sprintf "%.*f" decimals x
+
+let cell_ratio a b =
+  if Float.abs b < 1e-12 then "-" else Printf.sprintf "%.2f" (a /. b)

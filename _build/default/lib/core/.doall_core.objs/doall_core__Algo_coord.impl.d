@@ -1,0 +1,1 @@
+lib/core/algo_coord.ml: Algorithm Array Bitset Config Doall_sim List

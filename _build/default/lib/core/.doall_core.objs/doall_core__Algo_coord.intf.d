@@ -1,0 +1,1 @@
+lib/core/algo_coord.mli: Doall_sim

@@ -1,0 +1,1 @@
+lib/core/algo_da.ml: Algorithm Array Bitset Config Doall_perms Doall_sim Hashtbl List Perm Printf Progress_tree Qary Rng Search Task

@@ -1,0 +1,1 @@
+lib/core/algo_da.mli: Doall_perms Doall_sim

@@ -1,0 +1,1 @@
+lib/core/algo_pa.ml: Algorithm Array Bitset Config Doall_perms Doall_sim Gen List Perm Printf Rng Task

@@ -1,0 +1,1 @@
+lib/core/algo_pa.mli: Doall_perms Doall_sim

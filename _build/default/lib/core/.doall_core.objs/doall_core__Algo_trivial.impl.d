@@ -1,0 +1,1 @@
+lib/core/algo_trivial.ml: Algorithm Bitset Config Doall_sim

@@ -1,0 +1,1 @@
+lib/core/algo_trivial.mli: Doall_sim

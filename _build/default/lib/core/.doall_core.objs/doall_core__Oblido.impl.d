@@ -1,0 +1,1 @@
+lib/core/oblido.ml: Algorithm Array Bitset Config Doall_perms Doall_sim Fun Hashtbl List Perm Rng Task

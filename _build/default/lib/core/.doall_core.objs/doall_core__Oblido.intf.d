@@ -1,0 +1,1 @@
+lib/core/oblido.mli: Doall_perms Doall_sim Perm

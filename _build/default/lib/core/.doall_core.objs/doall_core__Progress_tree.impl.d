@@ -1,0 +1,1 @@
+lib/core/progress_tree.ml: Bitset Doall_sim

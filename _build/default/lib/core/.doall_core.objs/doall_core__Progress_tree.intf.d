@@ -1,0 +1,1 @@
+lib/core/progress_tree.mli: Doall_sim

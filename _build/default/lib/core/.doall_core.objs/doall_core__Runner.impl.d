@@ -1,0 +1,1 @@
+lib/core/runner.ml: Adversary Algo_coord Algo_da Algo_pa Algo_trivial Algorithm Config Crash Delay Doall_adversary Doall_sim Engine Lb_deterministic Lb_randomized List Metrics Printf Schedule String

@@ -1,0 +1,1 @@
+lib/core/runner.mli: Adversary Algorithm Doall_sim Metrics Trace

@@ -1,0 +1,1 @@
+lib/core/task.ml: Array Bitset Doall_sim List

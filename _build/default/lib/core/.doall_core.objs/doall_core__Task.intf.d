@@ -1,0 +1,1 @@
+lib/core/task.mli: Doall_sim

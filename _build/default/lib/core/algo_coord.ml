@@ -1,0 +1,217 @@
+open Doall_sim
+
+type msg =
+  | Assign of { epoch : int; chunk : int array }
+  | Report of { epoch : int; know : Bitset.t }
+  | Summary of { epoch : int; know : Bitset.t }
+
+let make ?(patience = 8) () : Algorithm.packed =
+  if patience < 1 then invalid_arg "Algo_coord.make: patience >= 1";
+  (module struct
+    let name = "coord"
+
+    type nonrec msg = msg
+
+    type state = {
+      p : int;
+      pid : int;
+      t : int;
+      know : Bitset.t;
+      mutable epoch : int;
+      mutable chunk : int list; (* assigned tasks still to perform *)
+      mutable reported : bool; (* Report sent for the current epoch *)
+      mutable assigns_sent : bool; (* coordinator: Assigns are out *)
+      mutable reports_in : Bitset.t; (* coordinator: who reported this epoch *)
+      mutable idle_steps : int;
+      fallback_order : int array;
+      mutable fallback_pos : int;
+      mutable outbox : (int * msg) list;
+      mutable halted : bool;
+    }
+
+    let init (cfg : Config.t) ~pid =
+      let t = cfg.Config.t in
+      {
+        p = cfg.Config.p;
+        pid;
+        t;
+        know = Bitset.create t;
+        epoch = 0;
+        chunk = [];
+        reported = false;
+        assigns_sent = false;
+        reports_in = Bitset.create cfg.Config.p;
+        idle_steps = 0;
+        (* own rotation: spreads uncoordinated fallback work *)
+        fallback_order = Array.init t (fun i -> (i + (pid * t / cfg.Config.p)) mod t);
+        fallback_pos = 0;
+        outbox = [];
+        halted = false;
+      }
+
+    let copy st =
+      {
+        st with
+        know = Bitset.copy st.know;
+        reports_in = Bitset.copy st.reports_in;
+        fallback_order = Array.copy st.fallback_order;
+      }
+
+    let is_done st = Bitset.is_full st.know
+    let done_tasks st = st.know
+    let coordinator_of st epoch = epoch mod st.p
+    let am_coordinator st = coordinator_of st st.epoch = st.pid
+
+    let reset_epoch_state st =
+      st.chunk <- [];
+      st.reported <- false;
+      st.assigns_sent <- false;
+      st.idle_steps <- 0;
+      (* bitsets are monotone by design, so a coordinator term gets a
+         fresh report ledger instead of a cleared one *)
+      st.reports_in <- Bitset.create st.p
+
+    let advance_epoch st epoch =
+      st.epoch <- epoch;
+      reset_epoch_state st
+
+    let receive st ~src msg =
+      match msg with
+      | Assign { epoch; chunk } ->
+        if epoch >= st.epoch then begin
+          if epoch > st.epoch then advance_epoch st epoch;
+          st.chunk <-
+            List.filter
+              (fun z -> not (Bitset.mem st.know z))
+              (Array.to_list chunk);
+          st.reported <- false;
+          st.idle_steps <- 0
+        end
+      | Report { epoch; know } ->
+        Bitset.union_into ~dst:st.know know;
+        if epoch = st.epoch && am_coordinator st then
+          Bitset.set st.reports_in src
+      | Summary { epoch; know } ->
+        Bitset.union_into ~dst:st.know know;
+        if epoch >= st.epoch then advance_epoch st (epoch + 1)
+
+    let flush st ?performed ?broadcast ?halt () =
+      let unicasts = st.outbox in
+      st.outbox <- [];
+      Algorithm.result ?performed ?broadcast ~unicasts ?halt ()
+
+    (* Perform the next pending chunk task not already known done. *)
+    let rec perform_chunk st =
+      match st.chunk with
+      | [] -> None
+      | z :: rest ->
+        st.chunk <- rest;
+        if Bitset.mem st.know z then perform_chunk st
+        else begin
+          Bitset.set st.know z;
+          Some z
+        end
+
+    let fallback_task st =
+      let n = Array.length st.fallback_order in
+      let rec scan tries =
+        if tries >= n then None
+        else begin
+          let z = st.fallback_order.(st.fallback_pos) in
+          st.fallback_pos <- (st.fallback_pos + 1) mod n;
+          if Bitset.mem st.know z then scan (tries + 1) else Some z
+        end
+      in
+      scan 0
+
+    let make_chunks st =
+      (* Round-robin the tasks we do not know done over all p processors,
+         our own chunk first so the coordinator also works. *)
+      let undone = Bitset.missing st.know in
+      let buckets = Array.make st.p [] in
+      List.iteri
+        (fun i z -> buckets.(i mod st.p) <- z :: buckets.(i mod st.p))
+        undone;
+      Array.map List.rev buckets
+
+    let coordinator_step st =
+      if not st.assigns_sent then begin
+        let buckets = make_chunks st in
+        st.chunk <- buckets.(st.pid);
+        for i = 0 to st.p - 1 do
+          if i <> st.pid then
+            st.outbox <-
+              ( i,
+                Assign
+                  { epoch = st.epoch; chunk = Array.of_list buckets.(i) } )
+              :: st.outbox
+        done;
+        st.assigns_sent <- true;
+        st.idle_steps <- 0;
+        flush st ()
+      end
+      else
+        match perform_chunk st with
+        | Some z -> flush st ~performed:z ()
+        | None ->
+          let all_reported =
+            (* everyone but me *)
+            Bitset.cardinal st.reports_in >= st.p - 1
+          in
+          if all_reported || st.idle_steps > patience then begin
+            (* close the epoch: share merged knowledge, move on *)
+            let epoch = st.epoch in
+            advance_epoch st (epoch + 1);
+            flush st
+              ~broadcast:(Summary { epoch; know = Bitset.copy st.know })
+              ()
+          end
+          else begin
+            st.idle_steps <- st.idle_steps + 1;
+            (* waiting on reports: work ahead on fallback rather than idle *)
+            match fallback_task st with
+            | Some z ->
+              Bitset.set st.know z;
+              flush st ~performed:z ()
+            | None -> flush st ()
+          end
+
+    let worker_step st =
+      match perform_chunk st with
+      | Some z -> flush st ~performed:z ()
+      | None ->
+        if not st.reported then begin
+          st.reported <- true;
+          st.outbox <-
+            ( coordinator_of st st.epoch,
+              Report { epoch = st.epoch; know = Bitset.copy st.know } )
+            :: st.outbox;
+          flush st ()
+        end
+        else begin
+          st.idle_steps <- st.idle_steps + 1;
+          if st.idle_steps > 4 * patience then begin
+            (* long silence: assume the coordinator is gone *)
+            advance_epoch st (st.epoch + 1)
+          end;
+          if st.idle_steps > patience then
+            match fallback_task st with
+            | Some z ->
+              Bitset.set st.know z;
+              flush st ~performed:z ()
+            | None -> flush st ()
+          else flush st ()
+        end
+
+    let step st =
+      if st.halted then Algorithm.nothing
+      else if is_done st then begin
+        st.halted <- true;
+        (* last service to the others: share the completed picture *)
+        flush st
+          ~broadcast:(Summary { epoch = st.epoch; know = Bitset.copy st.know })
+          ~halt:true ()
+      end
+      else if am_coordinator st then coordinator_step st
+      else worker_step st
+  end)

@@ -1,0 +1,39 @@
+(** A synchronous-style coordinator algorithm (the [10]-family baseline).
+
+    The paper's introduction observes that the substantial synchronous
+    Do-All literature (Dwork-Halpern-Waarts [9], De Prisco-Mayer-Yung
+    [10], Chlebus et al. [5], ...) relies on processor synchrony and
+    constant message delay, and that "it is not clear how such
+    algorithms can be adapted to deal with asynchrony". This module
+    makes that observation measurable: a faithful-in-spirit
+    coordinator-based algorithm whose efficiency rests on timely
+    round-trips, run inside the asynchronous engine.
+
+    Protocol (epochs with rotating coordinators, as in [10]):
+
+    - epoch [e]'s coordinator is processor [e mod p];
+    - the coordinator partitions the tasks it does not know done into
+      [p] chunks, unicasts an [Assign] to every processor, performs its
+      own chunk, collects [Report]s, merges, broadcasts a [Summary] and
+      moves to epoch [e+1];
+    - workers perform their chunk and report; a [Summary] advances their
+      epoch.
+
+    Asynchrony is handled the only way a synchrony-assuming algorithm
+    can: {e fixed timeouts} ([patience], default 8 local steps — "the
+    network is fast" is baked in). A processor that waits in vain first
+    falls back to performing tasks from its own rotation (so Do-All is
+    always solved — the survivor-liveness contract holds), and after
+    long silence unilaterally advances its epoch, eventually becoming
+    coordinator itself.
+
+    The measurable consequence (benchmark E15): at [d] small relative to
+    [patience] the algorithm is efficient and frugal with messages, but
+    as [d] grows past the timeout its suspicion is always wrong — chunks
+    get reassigned, epochs thrash, the fallback does the real work — and
+    work degrades {e non-gracefully} compared to DA/PA at the same [d].
+    Delay-sensitivity is precisely what this design lacks. *)
+
+val make : ?patience:int -> unit -> Doall_sim.Algorithm.packed
+(** [patience >= 1] (default 8): local steps a processor waits on the
+    network before acting unilaterally. *)

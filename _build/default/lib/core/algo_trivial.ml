@@ -1,0 +1,38 @@
+open Doall_sim
+
+let make ?(staggered = true) () : Algorithm.packed =
+  (module struct
+    let name = if staggered then "trivial" else "trivial-lockstep"
+
+    type state = {
+      t : int;
+      offset : int;
+      know : Bitset.t;
+      mutable next : int; (* tasks performed so far, in own order *)
+      mutable halted : bool;
+    }
+
+    type msg = unit
+
+    let init (cfg : Config.t) ~pid =
+      let offset = if staggered then pid * cfg.t / cfg.p else 0 in
+      { t = cfg.t; offset; know = Bitset.create cfg.t; next = 0; halted = false }
+
+    let copy st = { st with know = Bitset.copy st.know }
+    let receive _ ~src:_ () = ()
+    let is_done st = Bitset.is_full st.know
+    let done_tasks st = st.know
+
+    let step st =
+      if st.halted then Algorithm.nothing
+      else if st.next >= st.t then begin
+        st.halted <- true;
+        Algorithm.result ~halt:true ()
+      end
+      else begin
+        let task = (st.offset + st.next) mod st.t in
+        st.next <- st.next + 1;
+        Bitset.set st.know task;
+        Algorithm.result ~performed:task ()
+      end
+  end)

@@ -1,0 +1,16 @@
+(** The communication-oblivious baseline.
+
+    Every processor performs all [t] tasks by itself and never sends a
+    message: work [Theta(p * t)], message complexity 0 (Section 1). It is
+    unbeatable when [d >= t] (Proposition 2.2) and the yardstick every
+    delay-sensitive algorithm must beat when [d = o(t)].
+
+    Each processor performs tasks starting from its own offset
+    [pid * t / p] (wrapping around), which spreads first executions
+    without any coordination; with offset disabled all processors march
+    in identical order. Either way a processor halts only after having
+    performed every task itself — it can learn completion no other
+    way. *)
+
+val make : ?staggered:bool -> unit -> Doall_sim.Algorithm.packed
+(** [staggered] (default [true]) enables the per-processor offset. *)

@@ -1,0 +1,266 @@
+open Doall_sim
+open Doall_adversary
+
+type algo_spec = {
+  algo_name : string;
+  doc : string;
+  make : unit -> Algorithm.packed;
+  deterministic : bool;
+  liveness : [ `Any_survivor | `Needs_quorum ];
+}
+
+type adv_spec = {
+  adv_name : string;
+  adv_doc : string;
+  instantiate : p:int -> t:int -> d:int -> Adversary.t;
+}
+
+let da_specs =
+  List.map
+    (fun q ->
+      {
+        algo_name = Printf.sprintf "da-q%d" q;
+        doc =
+          Printf.sprintf
+            "deterministic progress-tree algorithm DA(%d) (Section 5)" q;
+        make = (fun () -> Algo_da.make ~q ());
+        deterministic = true;
+        liveness = `Any_survivor;
+      })
+    [ 2; 3; 4; 5; 6; 7; 8 ]
+
+let algorithms =
+  [
+    {
+      algo_name = "trivial";
+      doc = "oblivious baseline: every processor performs every task";
+      make = (fun () -> Algo_trivial.make ());
+      deterministic = true;
+      liveness = `Any_survivor;
+    };
+    {
+      algo_name = "paran1";
+      doc = "randomized PA: one random permutation per processor (Sec. 6)";
+      make = (fun () -> Algo_pa.make_ran1 ());
+      deterministic = false;
+      liveness = `Any_survivor;
+    };
+    {
+      algo_name = "paran2";
+      doc = "randomized PA: uniform random next task (Sec. 6)";
+      make = (fun () -> Algo_pa.make_ran2 ());
+      deterministic = false;
+      liveness = `Any_survivor;
+    };
+    {
+      algo_name = "padet";
+      doc = "deterministic PA with a fixed low-d-contention list (Sec. 6)";
+      make = (fun () -> Algo_pa.make_det ());
+      deterministic = true;
+      liveness = `Any_survivor;
+    };
+    {
+      algo_name = "coord";
+      doc =
+        "synchronous-style rotating-coordinator baseline (cf. [10]); \
+         timeouts assume a fast network";
+      make = (fun () -> Algo_coord.make ());
+      deterministic = true;
+      liveness = `Any_survivor;
+    };
+  ]
+  @ da_specs
+
+let adversaries =
+  [
+    {
+      adv_name = "fair";
+      adv_doc = "everyone steps, messages arrive in one unit";
+      instantiate = (fun ~p:_ ~t:_ ~d:_ -> Adversary.fair);
+    };
+    {
+      adv_name = "max-delay";
+      adv_doc = "fair stepping, every message takes the full d";
+      instantiate = (fun ~p:_ ~t:_ ~d:_ -> Delay.into ~name:"max-delay" Delay.maximal);
+    };
+    {
+      adv_name = "uniform-delay";
+      adv_doc = "fair stepping, latency uniform on 1..d";
+      instantiate =
+        (fun ~p:_ ~t:_ ~d:_ -> Delay.into ~name:"uniform-delay" Delay.uniform);
+    };
+    {
+      adv_name = "batch";
+      adv_doc = "deliveries batched at stage boundaries (length min(d, t/6))";
+      instantiate =
+        (fun ~p:_ ~t ~d ->
+          let stage_len = max 1 (min d (t / 6)) in
+          Delay.into ~name:"batch" (Delay.stage_batched ~stage_len));
+    };
+    {
+      adv_name = "solo";
+      adv_doc = "only processor 0 ever advances";
+      instantiate = (fun ~p:_ ~t:_ ~d:_ -> Schedule.into ~name:"solo" (Schedule.solo 0));
+    };
+    {
+      adv_name = "round-robin";
+      adv_doc = "a rotating quarter of the processors advances";
+      instantiate =
+        (fun ~p ~t:_ ~d:_ ->
+          Schedule.into ~name:"round-robin"
+            (Schedule.round_robin ~width:(max 1 (p / 4))));
+    };
+    {
+      adv_name = "harmonic";
+      adv_doc = "processor i runs (i+1) times slower than processor 0";
+      instantiate =
+        (fun ~p:_ ~t:_ ~d:_ -> Schedule.into ~name:"harmonic" Schedule.harmonic_speeds);
+    };
+    {
+      adv_name = "random-half";
+      adv_doc = "each processor steps with probability 1/2; uniform delays";
+      instantiate =
+        (fun ~p:_ ~t:_ ~d:_ ->
+          Schedule.combine ~name:"random-half"
+            ~schedule:(Schedule.random_subset ~prob:0.5) ~delay:Delay.uniform ());
+    };
+    {
+      adv_name = "laggard";
+      adv_doc = "omniscient: stalls processors about to perform fresh tasks";
+      instantiate =
+        (fun ~p:_ ~t:_ ~d:_ ->
+          Schedule.combine ~name:"laggard" ~schedule:Schedule.adaptive_laggard
+            ~delay:Delay.maximal ());
+    };
+    {
+      adv_name = "lb-det";
+      adv_doc = "the Theorem 3.1 stage adversary (deterministic algorithms)";
+      instantiate = (fun ~p:_ ~t:_ ~d:_ -> Lb_deterministic.create ());
+    };
+    {
+      adv_name = "lb-rand";
+      adv_doc = "the Theorem 3.4 online adversary, coverage J_s selection";
+      instantiate = (fun ~p:_ ~t:_ ~d:_ -> Lb_randomized.create ());
+    };
+    {
+      adv_name = "lb-rand-random";
+      adv_doc = "the Theorem 3.4 online adversary, random J_s (for PaRan2)";
+      instantiate =
+        (fun ~p:_ ~t:_ ~d:_ -> Lb_randomized.create ~selection:`Random ());
+    };
+    {
+      adv_name = "partition";
+      adv_doc = "two sites: fast within, full-d latency across the cut";
+      instantiate =
+        (fun ~p ~t:_ ~d:_ ->
+          Delay.into ~name:"partition" (Delay.partition ~split:(max 1 (p / 2))));
+    };
+    {
+      adv_name = "churn";
+      adv_doc = "alternating calm (fast) and storm (full-d) periods";
+      instantiate =
+        (fun ~p:_ ~t ~d:_ ->
+          let period = max 2 (t / 8) in
+          Delay.into ~name:"churn"
+            (Delay.churn ~calm:period ~storm:period));
+    };
+    {
+      adv_name = "stragglers";
+      adv_doc = "a third of the processors sit behind a full-d link";
+      instantiate =
+        (fun ~p ~t:_ ~d:_ ->
+          Delay.into ~name:"stragglers"
+            (Delay.targeted ~victims:(fun pid -> pid mod 3 = 0 && p > 1)));
+    };
+    {
+      adv_name = "crash-half";
+      adv_doc = "half the processors crash a third of the way in";
+      instantiate =
+        (fun ~p ~t ~d:_ ->
+          Crash.into ~name:"crash-half"
+            (Crash.at_time ~time:(max 1 (t / 3))
+               ~pids:(List.init (p / 2) (fun i -> (2 * i) + 1))));
+    };
+    {
+      adv_name = "crash-all-but-one";
+      adv_doc = "everyone except processor 0 crashes early";
+      instantiate =
+        (fun ~p:_ ~t ~d:_ ->
+          Crash.into ~name:"crash-all-but-one"
+            (Crash.all_but_one ~survivor:0 ~time:(max 1 (t / 8))));
+    };
+    {
+      adv_name = "crash-staggered";
+      adv_doc = "the lowest live pid crashes at regular intervals";
+      instantiate =
+        (fun ~p ~t ~d:_ ->
+          Crash.into ~name:"crash-staggered"
+            (Crash.staggered ~every:(max 1 (t / max 1 p))));
+    };
+  ]
+
+let known_names to_name specs =
+  String.concat ", " (List.map to_name specs)
+
+(* Extension point: downstream libraries (e.g. doall.quorum) contribute
+   algorithms without creating a dependency cycle. *)
+let registered : algo_spec list ref = ref []
+
+let register_algorithm spec =
+  if List.exists (fun s -> s.algo_name = spec.algo_name) algorithms then
+    invalid_arg
+      (Printf.sprintf "Runner.register_algorithm: %S is a built-in name"
+         spec.algo_name);
+  registered :=
+    spec :: List.filter (fun s -> s.algo_name <> spec.algo_name) !registered
+
+let all_algorithms () = algorithms @ List.rev !registered
+
+let find_algo name =
+  match List.find_opt (fun s -> s.algo_name = name) (all_algorithms ()) with
+  | Some s -> s
+  | None ->
+    failwith
+      (Printf.sprintf "unknown algorithm %S (known: %s)" name
+         (known_names (fun s -> s.algo_name) (all_algorithms ())))
+
+type result = { metrics : Metrics.t; algo : string; adv : string; seed : int }
+
+let find_adv name =
+  match List.find_opt (fun s -> s.adv_name = name) adversaries with
+  | Some s -> s
+  | None ->
+    failwith
+      (Printf.sprintf "unknown adversary %S (known: %s)" name
+         (known_names (fun s -> s.adv_name) adversaries))
+
+let run ?(seed = 0) ?max_time ~algo ~adv ~p ~t ~d () =
+  let aspec = find_algo algo in
+  let vspec = find_adv adv in
+  let cfg = Config.make ~seed ~p ~t () in
+  let adversary = vspec.instantiate ~p ~t ~d in
+  let metrics = Engine.run_packed (aspec.make ()) cfg ~d ~adversary ?max_time () in
+  if not metrics.Metrics.completed then
+    failwith
+      (Printf.sprintf "run %s/%s p=%d t=%d d=%d seed=%d hit the time cap"
+         algo adv p t d seed);
+  { metrics; algo; adv; seed }
+
+let run_traced ?(seed = 0) ?max_time ~algo ~adv ~p ~t ~d () =
+  let aspec = find_algo algo in
+  let vspec = find_adv adv in
+  let cfg = Config.make ~seed ~record_trace:true ~p ~t () in
+  let adversary = vspec.instantiate ~p ~t ~d in
+  let metrics, trace =
+    Engine.run_traced (aspec.make ()) cfg ~d ~adversary ?max_time ()
+  in
+  ({ metrics; algo; adv; seed }, trace)
+
+let average_work ?(seeds = [ 1; 2; 3; 4; 5 ]) ~algo ~adv ~p ~t ~d () =
+  let runs =
+    List.map (fun seed -> (run ~seed ~algo ~adv ~p ~t ~d ()).metrics) seeds
+  in
+  let len = float_of_int (List.length runs) in
+  let mean f = List.fold_left (fun acc m -> acc +. f m) 0.0 runs /. len in
+  ( mean (fun m -> float_of_int m.Metrics.work),
+    mean (fun m -> float_of_int m.Metrics.messages) )

@@ -1,0 +1,86 @@
+(** Wiring: named algorithms x named adversaries x (p, t, d) -> metrics.
+
+    The registries give the CLI, the examples, the tests and the
+    benchmark harness one shared vocabulary. Adversary constructors are
+    invoked per run because the lower-bound adversaries are stateful. *)
+
+open Doall_sim
+
+type algo_spec = {
+  algo_name : string;
+  doc : string;
+  make : unit -> Algorithm.packed;
+  deterministic : bool;
+      (** true when the algorithm draws no coins (DA, PaDet, trivial) *)
+  liveness : [ `Any_survivor | `Needs_quorum ];
+      (** [`Any_survivor]: terminates whenever at least one processor
+          keeps taking steps (the paper's standard condition).
+          [`Needs_quorum]: additionally requires a quorum of processors
+          to keep taking steps (e.g. {!Doall_quorum.Algo_awq}); under
+          quorum-killing adversaries such runs honestly fail to
+          complete. *)
+}
+
+type adv_spec = {
+  adv_name : string;
+  adv_doc : string;
+  instantiate : p:int -> t:int -> d:int -> Adversary.t;
+}
+
+val algorithms : algo_spec list
+(** The built-ins: trivial, paran1, paran2, padet, da-q2 .. da-q8. *)
+
+val register_algorithm : algo_spec -> unit
+(** Add (or replace) an externally provided algorithm; built-in names are
+    protected ([Invalid_argument]). Used by [Doall_quorum.Register]. *)
+
+val all_algorithms : unit -> algo_spec list
+(** Built-ins plus everything registered so far. *)
+
+val adversaries : adv_spec list
+(** fair, max-delay, uniform-delay, batch, solo, round-robin,
+    harmonic, random-half, laggard, lb-det, lb-rand, lb-rand-random,
+    crash-half, crash-all-but-one, crash-staggered. *)
+
+val find_algo : string -> algo_spec
+(** Raises [Failure] with a message listing known names. *)
+
+val find_adv : string -> adv_spec
+
+type result = { metrics : Metrics.t; algo : string; adv : string; seed : int }
+
+val run :
+  ?seed:int ->
+  ?max_time:int ->
+  algo:string ->
+  adv:string ->
+  p:int ->
+  t:int ->
+  d:int ->
+  unit ->
+  result
+(** One simulation. Raises [Failure] if the run hits its time cap
+    without completing (that would be an algorithm bug, not data). *)
+
+val run_traced :
+  ?seed:int ->
+  ?max_time:int ->
+  algo:string ->
+  adv:string ->
+  p:int ->
+  t:int ->
+  d:int ->
+  unit ->
+  result * Trace.t
+
+val average_work :
+  ?seeds:int list ->
+  algo:string ->
+  adv:string ->
+  p:int ->
+  t:int ->
+  d:int ->
+  unit ->
+  float * float
+(** Mean work and mean messages over the given seeds (default 5 seeds),
+    for estimating expected complexity of the randomized algorithms. *)

@@ -1,0 +1,64 @@
+open Doall_sim
+
+type partition = {
+  t : int;
+  n : int;
+  job_of_task : int array;
+  task_ranges : (int * int) array;
+}
+
+let make ~p ~t =
+  if p <= 0 || t <= 0 then invalid_arg "Task.make: p and t must be positive";
+  let n = min p t in
+  let base = t / n and extra = t mod n in
+  let task_ranges = Array.make n (0, 0) in
+  let job_of_task = Array.make t 0 in
+  let start = ref 0 in
+  for j = 0 to n - 1 do
+    let size = base + if j < extra then 1 else 0 in
+    task_ranges.(j) <- (!start, !start + size);
+    for z = !start to !start + size - 1 do
+      job_of_task.(z) <- j
+    done;
+    start := !start + size
+  done;
+  assert (!start = t);
+  { t; n; job_of_task; task_ranges }
+
+let check_job part j =
+  if j < 0 || j >= part.n then invalid_arg "Task: job id out of range"
+
+let job_size part j =
+  check_job part j;
+  let lo, hi = part.task_ranges.(j) in
+  hi - lo
+
+let tasks_of_job part j =
+  check_job part j;
+  let lo, hi = part.task_ranges.(j) in
+  List.init (hi - lo) (fun k -> lo + k)
+
+let job_of_task part z =
+  if z < 0 || z >= part.t then invalid_arg "Task.job_of_task: out of range";
+  part.job_of_task.(z)
+
+let job_done part know j =
+  check_job part j;
+  let lo, hi = part.task_ranges.(j) in
+  let rec go z = z >= hi || (Bitset.mem know z && go (z + 1)) in
+  go lo
+
+let next_member part know j =
+  check_job part j;
+  let lo, hi = part.task_ranges.(j) in
+  let rec go z =
+    if z >= hi then None else if Bitset.mem know z then go (z + 1) else Some z
+  in
+  go lo
+
+let jobs_done_count part know =
+  let c = ref 0 in
+  for j = 0 to part.n - 1 do
+    if job_done part know j then incr c
+  done;
+  !c

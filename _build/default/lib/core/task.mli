@@ -1,0 +1,32 @@
+(** Tasks and jobs.
+
+    Tasks are the unit of the Do-All problem: similar (constant-time) and
+    idempotent. When [p < t] the paper's algorithms group the [t] tasks
+    into [p] jobs of at most [ceil(t/p)] tasks each and schedule jobs
+    instead (Sections 5.1.3 and 6); performing a job costs one step per
+    member task. A {!partition} fixes the grouping once so every
+    processor agrees on it. *)
+
+type partition = private {
+  t : int;  (** tasks, ids [0..t-1] *)
+  n : int;  (** jobs, ids [0..n-1]; [n = min(p, t)] *)
+  job_of_task : int array;
+  task_ranges : (int * int) array;
+      (** job [j] owns tasks [fst..snd-1] (contiguous ranges) *)
+}
+
+val make : p:int -> t:int -> partition
+(** Balanced contiguous grouping into [min(p, t)] jobs whose sizes differ
+    by at most one (so every size is [<= ceil(t/p)]). *)
+
+val job_size : partition -> int -> int
+val tasks_of_job : partition -> int -> int list
+val job_of_task : partition -> int -> int
+
+val job_done : partition -> Doall_sim.Bitset.t -> int -> bool
+(** Whether every member task of the job is set in the knowledge set. *)
+
+val next_member : partition -> Doall_sim.Bitset.t -> int -> int option
+(** First member task of the job not in the knowledge set. *)
+
+val jobs_done_count : partition -> Doall_sim.Bitset.t -> int

@@ -1,0 +1,1 @@
+lib/perms/contention.ml: Array Doall_sim Float List Lrm Perm Rng

@@ -1,0 +1,1 @@
+lib/perms/contention.mli: Doall_sim Perm

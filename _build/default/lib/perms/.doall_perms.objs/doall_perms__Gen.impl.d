@@ -1,0 +1,1 @@
+lib/perms/gen.ml: Doall_sim List Perm Rng

@@ -1,0 +1,1 @@
+lib/perms/gen.mli: Doall_sim Perm

@@ -1,0 +1,1 @@
+lib/perms/lrm.ml: Array List Perm

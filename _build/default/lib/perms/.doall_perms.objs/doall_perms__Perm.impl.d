@@ -1,0 +1,1 @@
+lib/perms/perm.ml: Array Doall_sim Format List Rng Stdlib

@@ -1,0 +1,1 @@
+lib/perms/perm.mli: Doall_sim Format

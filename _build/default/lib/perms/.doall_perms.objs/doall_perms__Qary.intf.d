@@ -1,0 +1,1 @@
+lib/perms/qary.mli:

@@ -1,0 +1,1 @@
+lib/perms/search.ml: Array Contention Doall_sim Gen List Perm Printf Rng

@@ -1,0 +1,1 @@
+lib/perms/search.mli: Doall_sim Perm

@@ -1,0 +1,133 @@
+open Doall_sim
+
+let check_sizes psi rho =
+  let n = Perm.size rho in
+  List.iter
+    (fun pi ->
+      if Perm.size pi <> n then
+        invalid_arg "Contention: size mismatch between list and rho")
+    psi;
+  n
+
+let contention_wrt psi ~rho =
+  ignore (check_sizes psi rho);
+  let rho_inv = Perm.inverse rho in
+  List.fold_left (fun acc pi -> acc + Lrm.lrm (Perm.compose rho_inv pi)) 0 psi
+
+let d_contention_wrt ~d psi ~rho =
+  ignore (check_sizes psi rho);
+  let rho_inv = Perm.inverse rho in
+  List.fold_left
+    (fun acc pi -> acc + Lrm.d_lrm ~d (Perm.compose rho_inv pi))
+    0 psi
+
+let d_contention_profile_wrt psi ~rho =
+  let n = check_sizes psi rho in
+  let rho_inv = Perm.inverse rho in
+  let total = Array.make (n + 1) 0 in
+  List.iter
+    (fun pi ->
+      let prof = Lrm.d_lrm_profile (Perm.compose rho_inv pi) in
+      for d = 0 to n do
+        total.(d) <- total.(d) + prof.(d)
+      done)
+    psi;
+  total
+
+let exact_max eval psi =
+  match psi with
+  | [] -> 0
+  | pi :: _ ->
+    let n = Perm.size pi in
+    if n > 8 then
+      invalid_arg "Contention.*_exact: exhaustive search limited to n <= 8";
+    List.fold_left
+      (fun best rho -> max best (eval psi ~rho))
+      min_int (Perm.all n)
+
+let contention_exact psi = exact_max contention_wrt psi
+let d_contention_exact ~d psi = exact_max (d_contention_wrt ~d) psi
+
+(* First-improvement hill climbing over rho under the swap neighbourhood.
+   Contention is invariant under relabelling only of both psi and rho, so
+   the landscape genuinely depends on rho; swaps reach all of S_n. *)
+let climb eval psi rng rho0 =
+  let n = Array.length rho0 in
+  let rho = Array.copy rho0 in
+  let current = ref (eval psi ~rho:(Perm.of_array_unsafe rho)) in
+  let improved = ref true in
+  let budget = ref (8 * n * n) in
+  while !improved && !budget > 0 do
+    improved := false;
+    (* Randomized scan order avoids systematic bias in tie-handling. *)
+    let order = Rng.permutation rng (n * (n - 1) / 2) in
+    let pair k =
+      (* decode k-th unordered pair (i, j), i < j *)
+      let rec find i k =
+        let row = n - 1 - i in
+        if k < row then (i, i + 1 + k) else find (i + 1) (k - row)
+      in
+      find 0 k
+    in
+    (try
+       Array.iter
+         (fun k ->
+           decr budget;
+           if !budget <= 0 then raise Exit;
+           let i, j = pair k in
+           let tmp = rho.(i) in
+           rho.(i) <- rho.(j);
+           rho.(j) <- tmp;
+           let v = eval psi ~rho:(Perm.of_array_unsafe rho) in
+           if v > !current then begin
+             current := v;
+             improved := true
+           end
+           else begin
+             let tmp = rho.(i) in
+             rho.(i) <- rho.(j);
+             rho.(j) <- tmp
+           end)
+         order
+     with Exit -> ())
+  done;
+  !current
+
+let estimate eval ?(restarts = 8) ?(samples = 64) ~rng psi =
+  match psi with
+  | [] -> 0
+  | pi :: _ ->
+    let n = Perm.size pi in
+    let best = ref (eval psi ~rho:(Perm.identity n)) in
+    for _ = 1 to samples do
+      let rho = Perm.random rng n in
+      best := max !best (eval psi ~rho)
+    done;
+    for r = 0 to restarts - 1 do
+      let rho0 =
+        if r = 0 then Perm.to_array (Perm.identity n)
+        else Rng.permutation rng n
+      in
+      best := max !best (climb eval psi rng rho0)
+    done;
+    !best
+
+let contention_estimate ?restarts ?samples ~rng psi =
+  estimate contention_wrt ?restarts ?samples ~rng psi
+
+let d_contention_estimate ?restarts ?samples ~rng ~d psi =
+  estimate (d_contention_wrt ~d) ?restarts ?samples ~rng psi
+
+let harmonic n =
+  let s = ref 0.0 in
+  for j = 1 to n do
+    s := !s +. (1.0 /. float_of_int j)
+  done;
+  !s
+
+let bound_lemma_4_1 n = 3.0 *. float_of_int n *. harmonic n
+
+let bound_theorem_4_4 ~n ~p ~d =
+  let nf = float_of_int n and pf = float_of_int p and df = float_of_int d in
+  (nf *. log nf)
+  +. (8.0 *. pf *. df *. log (Float.exp 1.0 +. (nf /. df)))

@@ -1,0 +1,81 @@
+let lrm_positions pi =
+  let n = Perm.size pi in
+  let best = ref min_int in
+  let acc = ref [] in
+  for j = 0 to n - 1 do
+    let v = Perm.apply pi j in
+    if v > !best then begin
+      best := v;
+      acc := j :: !acc
+    end
+  done;
+  List.rev !acc
+
+let lrm pi = List.length (lrm_positions pi)
+
+(* Fenwick tree over values: [seen_gt j v] = number of earlier elements
+   greater than v. *)
+module Fenwick = struct
+  type t = int array (* 1-based *)
+
+  let create n : t = Array.make (n + 1) 0
+
+  let add (tr : t) i =
+    let i = ref (i + 1) in
+    while !i < Array.length tr do
+      tr.(!i) <- tr.(!i) + 1;
+      i := !i + (!i land - !i)
+    done
+
+  (* count of added values <= v *)
+  let prefix (tr : t) v =
+    let i = ref (v + 1) in
+    let s = ref 0 in
+    while !i > 0 do
+      s := !s + tr.(!i);
+      i := !i - (!i land - !i)
+    done;
+    !s
+end
+
+let greater_before pi =
+  let n = Perm.size pi in
+  let tr = Fenwick.create n in
+  let g = Array.make n 0 in
+  for j = 0 to n - 1 do
+    let v = Perm.apply pi j in
+    let le = Fenwick.prefix tr v in
+    g.(j) <- j - le;
+    Fenwick.add tr v
+  done;
+  g
+
+let d_lrm_profile pi =
+  let n = Perm.size pi in
+  let g = greater_before pi in
+  let profile = Array.make (n + 1) 0 in
+  (* position j is a d-lrm iff d > g.(j): bucket by g and prefix-sum *)
+  let buckets = Array.make (n + 1) 0 in
+  Array.iter (fun gv -> buckets.(min gv n) <- buckets.(min gv n) + 1) g;
+  let acc = ref 0 in
+  for d = 1 to n do
+    acc := !acc + buckets.(d - 1);
+    profile.(d) <- !acc
+  done;
+  profile
+
+let d_lrm_positions ~d pi =
+  if d < 1 then invalid_arg "Lrm.d_lrm: d must be >= 1";
+  let n = Perm.size pi in
+  let tr = Fenwick.create n in
+  let acc = ref [] in
+  for j = 0 to n - 1 do
+    let v = Perm.apply pi j in
+    let le = Fenwick.prefix tr v in
+    let greater_before = j - le in
+    if greater_before < d then acc := j :: !acc;
+    Fenwick.add tr v
+  done;
+  List.rev !acc
+
+let d_lrm ~d pi = List.length (d_lrm_positions ~d pi)

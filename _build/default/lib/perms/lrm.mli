@@ -1,0 +1,39 @@
+(** Left-to-right maxima and their delay-sensitive generalization.
+
+    For a schedule [pi = <pi(0), .., pi(n-1)>]:
+
+    - [pi(j)] is a {e left-to-right maximum} (lrm, Knuth vol. 3) when it
+      exceeds every earlier element. [lrm pi] counts them; it is the number
+      of tasks a second processor performs redundantly when racing a first
+      processor whose completion order is the identity (Section 4's
+      two-processor motivation).
+    - [pi(j)] is a {e d-left-to-right maximum} (d-lrm, Section 4.2) when
+      fewer than [d] earlier elements exceed it. With message delay [d], a
+      processor may redundantly perform precisely its d-lrm's: it cannot
+      have heard about fewer than [d] later-scheduled completions.
+
+    [d_lrm] with [d = 1] coincides with [lrm]. *)
+
+val lrm : Perm.t -> int
+(** Number of left-to-right maxima. O(n). *)
+
+val d_lrm : d:int -> Perm.t -> int
+(** Number of d-lrm's. O(n log n) via a Fenwick tree. Requires [d >= 1].
+    [d_lrm ~d:1 pi = lrm pi]; [d_lrm ~d:n pi = n]. *)
+
+val lrm_positions : Perm.t -> int list
+(** Positions [j] holding left-to-right maxima, increasing. *)
+
+val d_lrm_positions : d:int -> Perm.t -> int list
+
+val greater_before : Perm.t -> int array
+(** [greater_before pi] maps each position [j] to the number of earlier
+    elements exceeding [pi(j)] — position [j] is a d-lrm iff
+    [greater_before.(j) < d]. One O(n log n) pass determines d-lrm
+    counts for {e every} d at once; see {!d_lrm_profile}. *)
+
+val d_lrm_profile : Perm.t -> int array
+(** [d_lrm_profile pi] has length [n + 1]; entry [d] (for [1 <= d <= n])
+    is [d_lrm ~d pi], computed for all [d] in one pass (entry 0 is 0).
+    Satisfies: non-decreasing, [profile.(1) = lrm pi],
+    [profile.(n) = n]. *)

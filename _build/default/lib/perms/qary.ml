@@ -1,0 +1,36 @@
+let check_q q = if q < 2 then invalid_arg "Qary: q must be >= 2"
+
+let digits ~q ~width pid =
+  check_q q;
+  if width < 0 then invalid_arg "Qary.digits: negative width";
+  if pid < 0 then invalid_arg "Qary.digits: negative pid";
+  let a = Array.make width 0 in
+  let v = ref pid in
+  for m = 0 to width - 1 do
+    a.(m) <- !v mod q;
+    v := !v / q
+  done;
+  a
+
+let of_digits ~q a =
+  check_q q;
+  let acc = ref 0 in
+  for m = Array.length a - 1 downto 0 do
+    if a.(m) < 0 || a.(m) >= q then invalid_arg "Qary.of_digits: bad digit";
+    acc := (!acc * q) + a.(m)
+  done;
+  !acc
+
+let digit ~q pid m =
+  check_q q;
+  if m < 0 then invalid_arg "Qary.digit: negative index";
+  let v = ref pid in
+  for _ = 1 to m do
+    v := !v / q
+  done;
+  !v mod q
+
+let width_for ~q v =
+  check_q q;
+  let rec go w acc = if acc > v then w else go (w + 1) (acc * q) in
+  go 1 q

@@ -1,0 +1,1 @@
+lib/quorum/algo_awq.ml: Algo_da Algorithm Array Bitset Config Doall_core Doall_perms Doall_sim List Option Perm Printf Progress_tree Qary Quorum Task

@@ -1,0 +1,1 @@
+lib/quorum/algo_awq.mli: Doall_perms Doall_sim Quorum

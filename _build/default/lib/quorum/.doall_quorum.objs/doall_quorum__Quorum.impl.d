@@ -1,0 +1,1 @@
+lib/quorum/quorum.ml: Bitset Doall_sim Float Format

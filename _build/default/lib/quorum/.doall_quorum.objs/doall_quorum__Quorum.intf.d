@@ -1,0 +1,1 @@
+lib/quorum/quorum.mli: Doall_sim Format

@@ -1,0 +1,1 @@
+lib/quorum/register.ml: Algo_awq Doall_core List Printf Runner

@@ -1,0 +1,28 @@
+open Doall_core
+
+let install () =
+  List.iter
+    (fun q ->
+      Runner.register_algorithm
+        {
+          Runner.algo_name = Printf.sprintf "awq-q%d" q;
+          doc =
+            Printf.sprintf
+              "Anderson-Woll AW(%d) over quorum-replicated memory (Sec. 1.1 \
+               emulation route)"
+              q;
+          make = (fun () -> Algo_awq.make ~q ());
+          deterministic = true;
+          liveness = `Needs_quorum;
+        })
+    [ 2; 4; 8 ];
+  Runner.register_algorithm
+    {
+      Runner.algo_name = "awq-abd-q4";
+      doc =
+        "AW(4) over full two-phase ABD atomic registers (general \
+         emulation, cf. [3,18])";
+      make = (fun () -> Algo_awq.make ~q:4 ~protocol:`Abd ());
+      deterministic = true;
+      liveness = `Needs_quorum;
+    }

@@ -1,0 +1,1 @@
+lib/sharedmem/write_all.ml: Algo_da Array Bitset Doall_core Doall_perms Doall_sim List Perm Progress_tree Qary Rng Task

@@ -1,0 +1,1 @@
+lib/sharedmem/write_all.mli: Doall_perms

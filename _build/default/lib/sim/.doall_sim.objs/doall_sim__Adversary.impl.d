@@ -1,0 +1,1 @@
+lib/sim/adversary.ml: Array Printf Rng

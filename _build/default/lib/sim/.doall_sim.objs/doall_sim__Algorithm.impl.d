@@ -1,0 +1,1 @@
+lib/sim/algorithm.ml: Bitset Config

@@ -1,0 +1,1 @@
+lib/sim/algorithm.mli: Bitset Config

@@ -1,0 +1,1 @@
+lib/sim/bitset.ml: Array Bytes Char Format List

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Adversary Algorithm Array Bitset Config Hashtbl List Metrics Network Rng Trace

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Adversary Algorithm Bitset Config Metrics Trace

@@ -1,0 +1,59 @@
+(* See adversary.mli. *)
+
+type oracle = {
+  time : unit -> int;
+  p : int;
+  t : int;
+  d : int;
+  undone_count : unit -> int;
+  undone : unit -> int list;
+  task_done : int -> bool;
+  would_perform : int -> int option;
+  plan : pid:int -> horizon:int -> int list;
+  alive : int -> bool;
+  halted : int -> bool;
+  note : string -> unit;
+  rng : Rng.t;
+}
+
+type t = {
+  name : string;
+  schedule : oracle -> bool array;
+  delay : oracle -> src:int -> dst:int -> int;
+  crash : oracle -> int list;
+}
+
+let no_crash (_ : oracle) = []
+let all_active o = Array.make o.p true
+
+let fair =
+  {
+    name = "fair";
+    schedule = all_active;
+    delay = (fun _ ~src:_ ~dst:_ -> 1);
+    crash = no_crash;
+  }
+
+let fixed_delay delta =
+  {
+    name = Printf.sprintf "fixed-delay-%d" delta;
+    schedule = all_active;
+    delay = (fun _ ~src:_ ~dst:_ -> delta);
+    crash = no_crash;
+  }
+
+let max_delay =
+  {
+    name = "max-delay";
+    schedule = all_active;
+    delay = (fun o ~src:_ ~dst:_ -> o.d);
+    crash = no_crash;
+  }
+
+let uniform_delay =
+  {
+    name = "uniform-delay";
+    schedule = all_active;
+    delay = (fun o ~src:_ ~dst:_ -> 1 + Rng.int o.rng (max 1 o.d));
+    crash = no_crash;
+  }

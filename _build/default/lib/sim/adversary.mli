@@ -1,0 +1,69 @@
+(** The omniscient adaptive adversary of Section 2.2.
+
+    An adversary controls three things, each per global time unit:
+    which processors advance (arbitrary delays between local clock
+    ticks), each message's delivery latency (up to the bound [d]), and
+    crash failures (with the engine enforcing the model's one-survivor
+    rule). Decisions are made {e online} against the live execution
+    through an {!oracle} — a read-only window the engine exposes.
+
+    The oracle's [would_perform] and [plan] queries implement
+    omniscience: they clone a processor's state and run the clone in
+    isolation (no message deliveries) to learn which tasks it is about to
+    perform. For deterministic algorithms this equals full off-line
+    knowledge. For randomized algorithms, one-step lookahead corresponds
+    to the paper's Fig. 1 rule "delay a processor from the moment it
+    {e selects} a task in [J_s]": the selection (the coin flip) is
+    observable before the task completes, and the adversary reacts to
+    it — it never predicts coins it could not have seen. *)
+
+type oracle = {
+  time : unit -> int;  (** current global time (hidden from processors) *)
+  p : int;
+  t : int;
+  d : int;  (** this run's delay bound *)
+  undone_count : unit -> int;  (** tasks not yet performed by anyone *)
+  undone : unit -> int list;
+  task_done : int -> bool;
+  would_perform : int -> int option;
+      (** next task [pid] would perform if stepped in isolation *)
+  plan : pid:int -> horizon:int -> int list;
+      (** distinct tasks [pid] would perform within [horizon] isolated
+          steps — the set [J_s(i)] of the lower-bound proofs *)
+  alive : int -> bool;
+  halted : int -> bool;
+  note : string -> unit;  (** annotate the trace *)
+  rng : Rng.t;  (** adversary's private random stream *)
+}
+
+type t = {
+  name : string;
+  schedule : oracle -> bool array;
+      (** invoked once per time unit; [true] = the processor takes a step.
+          The engine keeps the model well-defined by forcing the
+          lowest-pid live processor to step if the adversary delays
+          everyone (time units are defined by the fastest processor). *)
+  delay : oracle -> src:int -> dst:int -> int;
+      (** latency for a message submitted now; the engine clamps the
+          result into [1 .. max 1 d]. *)
+  crash : oracle -> int list;
+      (** pids to crash at this instant; the engine refuses to crash the
+          last live processor. *)
+}
+
+val fair : t
+(** Everyone steps every unit; all messages arrive after one unit; no
+    crashes. The best case against which adversarial runs are compared. *)
+
+val fixed_delay : int -> t
+(** Fair scheduling, constant latency (clamped to the run's [d]). *)
+
+val max_delay : t
+(** Fair scheduling, every message takes the full [d]. *)
+
+val uniform_delay : t
+(** Fair scheduling, latency uniform in [1..d]. *)
+
+val no_crash : oracle -> int list
+val all_active : oracle -> bool array
+(** Building blocks for custom adversaries. *)

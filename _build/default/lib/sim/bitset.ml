@@ -1,0 +1,116 @@
+type t = { words : Bytes.t; n : int; mutable count : int }
+
+let bytes_for n = (n + 7) / 8
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Bytes.make (bytes_for n) '\000'; n; count = 0 }
+
+let length b = b.n
+let copy b = { words = Bytes.copy b.words; n = b.n; count = b.count }
+
+let check b i =
+  if i < 0 || i >= b.n then invalid_arg "Bitset: index out of range"
+
+let mem b i =
+  check b i;
+  Char.code (Bytes.unsafe_get b.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set b i =
+  check b i;
+  let byte = i lsr 3 in
+  let bit = 1 lsl (i land 7) in
+  let v = Char.code (Bytes.unsafe_get b.words byte) in
+  if v land bit = 0 then begin
+    Bytes.unsafe_set b.words byte (Char.unsafe_chr (v lor bit));
+    b.count <- b.count + 1
+  end
+
+let cardinal b = b.count
+let is_full b = b.count = b.n
+let is_empty b = b.count = 0
+
+let popcount_byte =
+  let tbl = Array.init 256 (fun v ->
+      let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + (v land 1)) in
+      go v 0)
+  in
+  fun c -> tbl.(Char.code c)
+
+let union_into ~dst src =
+  if dst.n <> src.n then invalid_arg "Bitset.union_into: capacity mismatch";
+  let len = Bytes.length dst.words in
+  let count = ref 0 in
+  for i = 0 to len - 1 do
+    let v =
+      Char.code (Bytes.unsafe_get dst.words i)
+      lor Char.code (Bytes.unsafe_get src.words i)
+    in
+    Bytes.unsafe_set dst.words i (Char.unsafe_chr v);
+    count := !count + popcount_byte (Char.unsafe_chr v)
+  done;
+  dst.count <- !count
+
+let subset a b =
+  if a.n <> b.n then invalid_arg "Bitset.subset: capacity mismatch";
+  let len = Bytes.length a.words in
+  let rec go i =
+    i >= len
+    || (let va = Char.code (Bytes.unsafe_get a.words i) in
+        let vb = Char.code (Bytes.unsafe_get b.words i) in
+        va land lnot vb = 0 && go (i + 1))
+  in
+  go 0
+
+let equal a b = a.n = b.n && Bytes.equal a.words b.words
+
+let iter_set b f =
+  for i = 0 to b.n - 1 do
+    if mem b i then f i
+  done
+
+let iter_missing b f =
+  for i = 0 to b.n - 1 do
+    if not (mem b i) then f i
+  done
+
+let to_list b =
+  let acc = ref [] in
+  for i = b.n - 1 downto 0 do
+    if mem b i then acc := i :: !acc
+  done;
+  !acc
+
+let missing b =
+  let acc = ref [] in
+  for i = b.n - 1 downto 0 do
+    if not (mem b i) then acc := i :: !acc
+  done;
+  !acc
+
+let first_missing b =
+  if is_full b then None
+  else begin
+    let res = ref None in
+    (try
+       for i = 0 to b.n - 1 do
+         if not (mem b i) then begin
+           res := Some i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !res
+  end
+
+let of_list n is =
+  let b = create n in
+  List.iter (set b) is;
+  b
+
+let pp ppf b =
+  Format.fprintf ppf "{%a}/%d"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+       Format.pp_print_int)
+    (to_list b) b.n

@@ -1,0 +1,66 @@
+(** Fixed-capacity mutable bitsets.
+
+    The workhorse data structure of the whole library: Do-All knowledge
+    ("which tasks do I know to be done?"), progress-tree node markings, and
+    the engine's global completion ledger are all bitsets. Operations the
+    algorithms perform on every simulated step ([set], [mem], [union_into],
+    [cardinal]) are O(1) or O(words) with no allocation. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an all-zero bitset of capacity [n] (indices [0..n-1]). *)
+
+val length : t -> int
+(** Capacity, as given to {!create}. *)
+
+val copy : t -> t
+(** An independent duplicate. *)
+
+val set : t -> int -> unit
+(** [set b i] turns bit [i] on. Out-of-range indices raise
+    [Invalid_argument]. Bits are never turned off: all knowledge in the
+    Do-All model is monotone, and the API enforces it. *)
+
+val mem : t -> int -> bool
+(** [mem b i] is the value of bit [i]. *)
+
+val cardinal : t -> int
+(** Number of set bits. O(1): maintained incrementally. *)
+
+val is_full : t -> bool
+(** All [length b] bits set. *)
+
+val is_empty : t -> bool
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] ORs [src] into [dst]. The two must have equal
+    capacity. This is the receive-side "merge the sender's knowledge"
+    operation of every algorithm in the paper. *)
+
+val subset : t -> t -> bool
+(** [subset a b] iff every bit of [a] is set in [b]. *)
+
+val equal : t -> t -> bool
+
+val iter_missing : t -> (int -> unit) -> unit
+(** [iter_missing b f] applies [f] to every index whose bit is clear, in
+    increasing order. *)
+
+val iter_set : t -> (int -> unit) -> unit
+(** [iter_set b f] applies [f] to every set index, in increasing order. *)
+
+val to_list : t -> int list
+(** Set indices, increasing. *)
+
+val missing : t -> int list
+(** Clear indices, increasing. *)
+
+val first_missing : t -> int option
+(** Smallest clear index, if any. *)
+
+val of_list : int -> int list -> t
+(** [of_list n is] is a capacity-[n] bitset with exactly the bits [is] set. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as e.g. [{0,3,7}/16] (set indices / capacity). *)

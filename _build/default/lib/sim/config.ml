@@ -1,0 +1,18 @@
+(* See config.mli. *)
+
+type t = {
+  p : int;
+  t : int;
+  seed : int;
+  record_trace : bool;
+}
+
+let make ?(seed = 0) ?(record_trace = false) ~p ~t () =
+  if p <= 0 then invalid_arg "Config.make: p must be positive";
+  if t <= 0 then invalid_arg "Config.make: t must be positive";
+  { p; t; seed; record_trace }
+
+let with_seed cfg seed = { cfg with seed }
+
+let pp ppf cfg =
+  Format.fprintf ppf "p=%d t=%d seed=%d" cfg.p cfg.t cfg.seed

@@ -1,0 +1,22 @@
+(** Run configuration visible to the algorithms.
+
+    Deliberately, the message-delay bound [d] is {e not} part of this
+    record: the paper's central modelling assumption is that algorithms
+    have no knowledge of [d] and may not rely on any bound on it
+    (Section 1). [d] is therefore a parameter of the adversarial
+    environment, supplied to {!Engine.run} alongside the adversary — the
+    type system makes it impossible for an algorithm to peek at it. *)
+
+type t = private {
+  p : int;  (** number of processors, with pids [0..p-1] *)
+  t : int;  (** number of tasks, with ids [0..t-1] *)
+  seed : int;  (** master seed; all randomness in a run derives from it *)
+  record_trace : bool;  (** record per-event traces (costs memory) *)
+}
+
+val make : ?seed:int -> ?record_trace:bool -> p:int -> t:int -> unit -> t
+(** Validates [p >= 1] and [t >= 1]. *)
+
+val with_seed : t -> int -> t
+
+val pp : Format.formatter -> t -> unit

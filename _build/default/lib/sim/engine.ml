@@ -1,0 +1,262 @@
+let default_max_time ~p ~t ~d =
+  (* A single processor can solve Do-All alone in O(q * t) steps for every
+     algorithm in this library (full solo traversal); with the engine
+     forcing at least one step per time unit, p * that is an absolute
+     bound. Add slack for delays and tiny instances. *)
+  10_000 + (48 * t * p) + (64 * d)
+
+module Make (A : Algorithm.S) = struct
+  type t = {
+    cfg : Config.t;
+    d : int;
+    adv : Adversary.t;
+    states : A.state array;
+    net : A.msg Network.t;
+    global_done : Bitset.t;
+    alive : bool array;
+    halted : bool array;
+    per_proc_work : int array;
+    trace : Trace.t;
+    mutable oracle : Adversary.oracle option;
+    mutable time : int;
+    mutable work : int;
+    mutable executions : int;
+    mutable finished : bool;
+    mutable sigma : int;
+  }
+
+  (* Lookahead used by the omniscient adversary: clone [pid]'s state and
+     step the clone in isolation (no deliveries), collecting the distinct
+     tasks it performs. [step_cap] bounds bookkeeping-only steps so a
+     clone that has halted (or spins on a finished tree) cannot loop. *)
+  let isolated_plan states ~pid ~horizon ~step_cap =
+    let clone = A.copy states.(pid) in
+    let performed = ref [] in
+    let count = ref 0 in
+    let seen = Hashtbl.create 16 in
+    let steps = ref 0 in
+    (try
+       while !steps < step_cap && !count < horizon do
+         incr steps;
+         let r = A.step clone in
+         (match r.Algorithm.performed with
+          | Some task when not (Hashtbl.mem seen task) ->
+            Hashtbl.add seen task ();
+            performed := task :: !performed;
+            incr count
+          | Some _ -> incr count
+          | None -> ());
+         if r.Algorithm.halt then raise Exit
+       done
+     with Exit -> ());
+    List.rev !performed
+
+  let create cfg ~d ~adversary =
+    if d < 0 then invalid_arg "Engine.create: d must be non-negative";
+    let d = max 1 d in
+    let p = cfg.Config.p in
+    let eng =
+      {
+        cfg;
+        d;
+        adv = adversary;
+        states = Array.init p (fun pid -> A.init cfg ~pid);
+        net = Network.create ~p;
+        global_done = Bitset.create cfg.Config.t;
+        alive = Array.make p true;
+        halted = Array.make p false;
+        per_proc_work = Array.make p 0;
+        trace = Trace.create ();
+        oracle = None;
+        time = 0;
+        work = 0;
+        executions = 0;
+        finished = false;
+        sigma = -1;
+      }
+    in
+    let plan_step_cap = 16 * (cfg.Config.t + 8) in
+    eng.oracle <-
+      Some
+        {
+          Adversary.time = (fun () -> eng.time);
+          p;
+          t = cfg.Config.t;
+          d;
+          undone_count =
+            (fun () -> cfg.Config.t - Bitset.cardinal eng.global_done);
+          undone = (fun () -> Bitset.missing eng.global_done);
+          task_done = (fun task -> Bitset.mem eng.global_done task);
+          would_perform =
+            (fun pid ->
+              match
+                isolated_plan eng.states ~pid ~horizon:1
+                  ~step_cap:plan_step_cap
+              with
+              | [] -> None
+              | task :: _ -> Some task);
+          plan =
+            (fun ~pid ~horizon ->
+              isolated_plan eng.states ~pid ~horizon ~step_cap:plan_step_cap);
+          alive = (fun pid -> eng.alive.(pid));
+          halted = (fun pid -> eng.halted.(pid));
+          note =
+            (fun text ->
+              if cfg.Config.record_trace then
+                Trace.add eng.trace (Trace.Note { time = eng.time; text }));
+          rng = Rng.create (cfg.Config.seed lxor 0x5adbeef);
+        };
+    eng
+
+  let oracle eng =
+    match eng.oracle with Some o -> o | None -> assert false
+
+  let informed eng =
+    let p = eng.cfg.Config.p in
+    let rec go pid =
+      pid < p
+      && ((eng.alive.(pid) && A.is_done eng.states.(pid)) || go (pid + 1))
+    in
+    go 0
+
+  let live_count eng =
+    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 eng.alive
+
+  let apply_crashes eng pids =
+    List.iter
+      (fun pid ->
+        if
+          pid >= 0
+          && pid < eng.cfg.Config.p
+          && eng.alive.(pid)
+          && live_count eng > 1
+        then begin
+          eng.alive.(pid) <- false;
+          if eng.cfg.Config.record_trace then
+            Trace.add eng.trace (Trace.Crash { time = eng.time; pid })
+        end)
+      pids
+
+  let eligible eng pid = eng.alive.(pid) && not eng.halted.(pid)
+
+  let step_processor eng pid =
+    (* Deliver due messages, then take the local step. *)
+    let msgs = Network.receive eng.net ~dst:pid ~now:eng.time in
+    List.iter (fun (src, msg) -> A.receive eng.states.(pid) ~src msg) msgs;
+    let r = A.step eng.states.(pid) in
+    eng.work <- eng.work + 1;
+    eng.per_proc_work.(pid) <- eng.per_proc_work.(pid) + 1;
+    (match r.Algorithm.performed with
+     | Some task ->
+       let fresh = not (Bitset.mem eng.global_done task) in
+       Bitset.set eng.global_done task;
+       eng.executions <- eng.executions + 1;
+       if eng.cfg.Config.record_trace then
+         Trace.add eng.trace
+           (Trace.Perform { time = eng.time; pid; task; fresh })
+     | None ->
+       if eng.cfg.Config.record_trace then
+         Trace.add eng.trace (Trace.Step { time = eng.time; pid }));
+    let send_one dst msg =
+      let o = oracle eng in
+      let raw = eng.adv.Adversary.delay o ~src:pid ~dst in
+      let delta = max 1 (min eng.d raw) in
+      Network.send eng.net ~src:pid ~dst ~due:(eng.time + delta) msg
+    in
+    (match r.Algorithm.broadcast with
+     | Some msg ->
+       let p = eng.cfg.Config.p in
+       for dst = 0 to p - 1 do
+         if dst <> pid then send_one dst msg
+       done;
+       if eng.cfg.Config.record_trace then
+         Trace.add eng.trace
+           (Trace.Broadcast { time = eng.time; src = pid; copies = p - 1 })
+     | None -> ());
+    List.iter
+      (fun (dst, msg) -> if dst <> pid then send_one dst msg)
+      r.Algorithm.unicasts;
+    if r.Algorithm.halt then begin
+      assert (A.is_done eng.states.(pid));
+      eng.halted.(pid) <- true;
+      if eng.cfg.Config.record_trace then
+        Trace.add eng.trace (Trace.Halt { time = eng.time; pid })
+    end
+
+  let tick eng =
+    let o = oracle eng in
+    apply_crashes eng (eng.adv.Adversary.crash o);
+    let p = eng.cfg.Config.p in
+    let active = eng.adv.Adversary.schedule o in
+    if Array.length active <> p then
+      invalid_arg "Adversary.schedule: wrong array length";
+    (* Time units are defined by the fastest processor: force someone to
+       step if the adversary tried to delay every eligible processor. *)
+    let any_eligible_active = ref false in
+    for pid = 0 to p - 1 do
+      if active.(pid) && eligible eng pid then any_eligible_active := true
+    done;
+    if not !any_eligible_active then begin
+      let forced = ref (-1) in
+      for pid = p - 1 downto 0 do
+        if eligible eng pid then forced := pid
+      done;
+      if !forced >= 0 then active.(!forced) <- true
+    end;
+    for pid = 0 to p - 1 do
+      if eligible eng pid then
+        if active.(pid) then step_processor eng pid
+        else if eng.cfg.Config.record_trace then
+          Trace.add eng.trace (Trace.Delayed { time = eng.time; pid })
+    done;
+    if Bitset.is_full eng.global_done && informed eng then begin
+      eng.finished <- true;
+      eng.sigma <- eng.time
+    end;
+    eng.time <- eng.time + 1
+
+  let run ?max_time eng =
+    let cap =
+      match max_time with
+      | Some m -> m
+      | None ->
+        default_max_time ~p:eng.cfg.Config.p ~t:eng.cfg.Config.t ~d:eng.d
+    in
+    while (not eng.finished) && eng.time < cap do
+      tick eng
+    done;
+    {
+      Metrics.p = eng.cfg.Config.p;
+      t = eng.cfg.Config.t;
+      d = eng.d;
+      work = eng.work;
+      messages = Network.sent eng.net;
+      sigma = (if eng.finished then eng.sigma else eng.time);
+      executions = eng.executions;
+      completed = eng.finished;
+      halted =
+        Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 eng.halted;
+      crashed =
+        Array.fold_left (fun acc b -> if b then acc else acc + 1) 0 eng.alive;
+      per_proc_work = Array.copy eng.per_proc_work;
+    }
+
+  let state eng pid = eng.states.(pid)
+  let trace eng = eng.trace
+  let global_done eng = eng.global_done
+end
+
+let run_packed (module A : Algorithm.S) cfg ~d ~adversary ?max_time () =
+  let module E = Make (A) in
+  let eng = E.create cfg ~d ~adversary in
+  E.run ?max_time eng
+
+let run_traced (module A : Algorithm.S) cfg ~d ~adversary ?max_time () =
+  let cfg =
+    Config.make ~seed:cfg.Config.seed ~record_trace:true ~p:cfg.Config.p
+      ~t:cfg.Config.t ()
+  in
+  let module E = Make (A) in
+  let eng = E.create cfg ~d ~adversary in
+  let m = E.run ?max_time eng in
+  (m, E.trace eng)

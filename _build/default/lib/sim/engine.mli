@@ -1,0 +1,66 @@
+(** The simulation loop: algorithm instances x network x adversary.
+
+    Implements the model of computation of Section 2 faithfully:
+
+    - Global time advances in units equal to the smallest possible gap
+      between consecutive clock ticks of any processor; within one unit,
+      each scheduled processor completes exactly one local step, so a
+      processor takes at most [d] local steps during any window of
+      duration [d] — the property the lower-bound stages rely on.
+    - A step costs one unit of work whether or not it performs a task
+      (the charged measure of [10,14], adopted by the paper).
+    - Message deliveries land in a processor's hands when that processor
+      next steps at or after the adversarial due time; a delayed
+      processor processes nothing.
+    - The run ends at [sigma]: the first instant at which every task has
+      been performed and at least one live processor locally knows it
+      (Definition 2.1). A safety cap guards against non-terminating
+      combinations; hitting it is reported, never masked.
+
+    Use {!Make} for a statically-known algorithm, or {!run_packed} with a
+    first-class module (how the benchmark harness instantiates algorithm
+    families parameterized by permutation lists). *)
+
+module Make (A : Algorithm.S) : sig
+  type t
+
+  val create : Config.t -> d:int -> adversary:Adversary.t -> t
+  (** Builds initial states for all [p] processors. [d >= 0]; [d = 0] is
+      treated as [d = 1] (a message needs at least one time unit). *)
+
+  val run : ?max_time:int -> t -> Metrics.t
+  (** Runs to [sigma] or to [max_time]. The default cap is generous
+      enough for any of the paper's algorithms to finish solo. *)
+
+  val state : t -> int -> A.state
+  (** Direct access to a processor's live state (tests, adversaries). *)
+
+  val trace : t -> Trace.t
+  (** Empty unless the config set [record_trace]. *)
+
+  val global_done : t -> Bitset.t
+  (** The engine's ledger of globally performed tasks. *)
+end
+
+val run_packed :
+  Algorithm.packed ->
+  Config.t ->
+  d:int ->
+  adversary:Adversary.t ->
+  ?max_time:int ->
+  unit ->
+  Metrics.t
+(** One-shot convenience around {!Make}. *)
+
+val run_traced :
+  Algorithm.packed ->
+  Config.t ->
+  d:int ->
+  adversary:Adversary.t ->
+  ?max_time:int ->
+  unit ->
+  Metrics.t * Trace.t
+(** Like {!run_packed} but also returns the trace (forces recording). *)
+
+val default_max_time : p:int -> t:int -> d:int -> int
+(** The default safety cap used by [run]. *)

@@ -1,0 +1,32 @@
+type 'a event = { time : int; seq : int; payload : 'a }
+
+type 'a t = { heap : 'a event Heap.t; mutable next_seq : int }
+
+let cmp a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () = { heap = Heap.create ~cmp; next_seq = 0 }
+
+let add q ~time payload =
+  Heap.add q.heap { time; seq = q.next_seq; payload };
+  q.next_seq <- q.next_seq + 1
+
+let pop_due q ~now =
+  match Heap.peek q.heap with
+  | Some ev when ev.time <= now ->
+    ignore (Heap.pop q.heap);
+    Some ev.payload
+  | Some _ | None -> None
+
+let pop_all_due q ~now =
+  let rec go acc =
+    match pop_due q ~now with
+    | Some x -> go (x :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let next_time q = Option.map (fun ev -> ev.time) (Heap.peek q.heap)
+let size q = Heap.size q.heap
+let is_empty q = Heap.is_empty q.heap

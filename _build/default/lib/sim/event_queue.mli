@@ -1,0 +1,27 @@
+(** Time-ordered event queues with stable tie-breaking.
+
+    A thin layer over {!Heap} that orders events by due time, breaking ties
+    by insertion order. Determinism of the whole simulation depends on this
+    tie-break: two messages delivered at the same instant are always
+    processed in the order they were sent. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> time:int -> 'a -> unit
+(** Schedule an event at absolute time [time]. Times may be scheduled in
+    any order, including in the past (delivered on the next poll). *)
+
+val pop_due : 'a t -> now:int -> 'a option
+(** Removes and returns the earliest event with due time [<= now], or
+    [None] when nothing is due. Ties resolve in insertion order. *)
+
+val pop_all_due : 'a t -> now:int -> 'a list
+(** All due events, in delivery order. *)
+
+val next_time : 'a t -> int option
+(** Due time of the earliest pending event. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool

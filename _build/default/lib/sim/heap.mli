@@ -1,0 +1,31 @@
+(** Resizable binary min-heaps.
+
+    A small, allocation-light priority queue used by the event queue
+    ({!Event_queue}) that drives message delivery. Generic so that tests
+    can exercise it independently of the simulation. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (minimum first). *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+(** O(log n) insertion. *)
+
+val peek : 'a t -> 'a option
+(** Minimum element, without removal. *)
+
+val pop : 'a t -> 'a option
+(** Removes and returns the minimum element. O(log n). *)
+
+val pop_exn : 'a t -> 'a
+(** Like {!pop} but raises [Invalid_argument] on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** Drains a {e copy} of the heap; the heap itself is unchanged. Ordered by
+    [cmp]. Intended for tests and debugging (O(n log n)). *)

@@ -1,0 +1,38 @@
+type 'msg t = {
+  p : int;
+  queues : (int * 'msg) Event_queue.t array; (* per destination; payload = (src, msg) *)
+  mutable sent : int;
+}
+
+let create ~p =
+  if p <= 0 then invalid_arg "Network.create: need at least one processor";
+  { p; queues = Array.init p (fun _ -> Event_queue.create ()); sent = 0 }
+
+let p t = t.p
+
+let check_pid t pid name =
+  if pid < 0 || pid >= t.p then invalid_arg (name ^ ": pid out of range")
+
+let send t ~src ~dst ~due msg =
+  check_pid t src "Network.send src";
+  check_pid t dst "Network.send dst";
+  if src = dst then invalid_arg "Network.send: self-send";
+  Event_queue.add t.queues.(dst) ~time:due (src, msg);
+  t.sent <- t.sent + 1
+
+let receive t ~dst ~now =
+  check_pid t dst "Network.receive";
+  Event_queue.pop_all_due t.queues.(dst) ~now
+
+let pending t =
+  Array.fold_left (fun acc q -> acc + Event_queue.size q) 0 t.queues
+
+let pending_for t ~dst =
+  check_pid t dst "Network.pending_for";
+  Event_queue.size t.queues.(dst)
+
+let next_due t ~dst =
+  check_pid t dst "Network.next_due";
+  Event_queue.next_time t.queues.(dst)
+
+let sent t = t.sent

@@ -1,0 +1,40 @@
+(** The reliable asynchronous point-to-point network of Section 2.1.
+
+    Processors communicate over a fully connected network of reliable
+    channels: messages are never lost or corrupted, only delayed. The
+    adversary picks each message's delivery time; the network records it
+    and hands messages to a destination when that destination takes a local
+    step at or after the due time (a delayed processor does not process
+    messages — it is not ticking).
+
+    A multicast is modelled, exactly as in the paper's complexity measure
+    (Definition 2.2), as [p - 1] point-to-point messages: {!sent} counts
+    every point-to-point send. *)
+
+type 'msg t
+
+val create : p:int -> 'msg t
+(** A network connecting processors [0..p-1]. *)
+
+val p : 'msg t -> int
+
+val send : 'msg t -> src:int -> dst:int -> due:int -> 'msg -> unit
+(** Queue one point-to-point message for delivery at absolute time [due].
+    [src] is recorded for tracing; self-sends are rejected
+    ([Invalid_argument]) — a processor already knows its own state. *)
+
+val receive : 'msg t -> dst:int -> now:int -> (int * 'msg) list
+(** [(sender, message)] pairs due at or before [now], removed from the
+    queue, in (due time, send order) order. *)
+
+val pending : 'msg t -> int
+(** Messages queued but not yet received. *)
+
+val pending_for : 'msg t -> dst:int -> int
+
+val next_due : 'msg t -> dst:int -> int option
+(** Earliest due time among messages queued for [dst]. *)
+
+val sent : 'msg t -> int
+(** Total point-to-point messages sent so far — the message complexity
+    [M] of Definition 2.2, counted incrementally. *)

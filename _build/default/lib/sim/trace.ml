@@ -1,0 +1,68 @@
+type event =
+  | Step of { time : int; pid : int }
+  | Delayed of { time : int; pid : int }
+  | Perform of { time : int; pid : int; task : int; fresh : bool }
+  | Broadcast of { time : int; src : int; copies : int }
+  | Halt of { time : int; pid : int }
+  | Crash of { time : int; pid : int }
+  | Note of { time : int; text : string }
+
+type t = { mutable events : event list; mutable length : int }
+
+let create () = { events = []; length = 0 }
+
+let add t ev =
+  t.events <- ev :: t.events;
+  t.length <- t.length + 1
+
+let length t = t.length
+let events t = List.rev t.events
+let iter t f = List.iter f (events t)
+
+let time_of = function
+  | Step { time; _ }
+  | Delayed { time; _ }
+  | Perform { time; _ }
+  | Broadcast { time; src = _; copies = _ }
+  | Halt { time; _ }
+  | Crash { time; _ }
+  | Note { time; _ } -> time
+
+let timeline t ~p ~until =
+  let grid = Array.init p (fun _ -> Bytes.make until ' ') in
+  let put time pid c =
+    if time >= 0 && time < until && pid >= 0 && pid < p then
+      Bytes.set grid.(pid) time c
+  in
+  let crashed_at = Array.make p max_int in
+  let halted_at = Array.make p max_int in
+  iter t (fun ev ->
+      match ev with
+      | Step { time; pid } ->
+        (* only mark if no richer mark present *)
+        if time < until && Bytes.get grid.(pid) time = ' ' then put time pid 'o'
+      | Perform { time; pid; _ } -> put time pid '#'
+      | Delayed { time; pid } -> put time pid '.'
+      | Halt { time; pid } ->
+        put time pid 'H';
+        if time < halted_at.(pid) then halted_at.(pid) <- time
+      | Crash { time; pid } ->
+        put time pid 'X';
+        if time < crashed_at.(pid) then crashed_at.(pid) <- time
+      | Broadcast _ | Note _ -> ());
+  (* Extend crash / halt markers to the right for readability. *)
+  Array.iteri (fun pid row ->
+      let from = min crashed_at.(pid) halted_at.(pid) in
+      if from < until then
+        for time = from + 1 to until - 1 do
+          if Bytes.get row time = ' ' then
+            Bytes.set row time (if crashed_at.(pid) <= time then 'x' else 'h')
+        done)
+    grid;
+  Array.map Bytes.to_string grid
+
+let pp_timeline ppf (t, p, until) =
+  let rows = timeline t ~p ~until in
+  Array.iteri
+    (fun pid row -> Format.fprintf ppf "p%-3d |%s|@." pid row)
+    rows

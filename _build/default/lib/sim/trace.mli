@@ -1,0 +1,45 @@
+(** Execution traces.
+
+    When [Config.record_trace] is set, the engine records one event per
+    observable action. Traces power the reproduction of the paper's Fig. 1
+    (the adversary's stage strategy rendered as a per-processor timeline)
+    and make failed property tests diagnosable. *)
+
+type event =
+  | Step of { time : int; pid : int }
+      (** [pid] completed a local step at [time]. *)
+  | Delayed of { time : int; pid : int }
+      (** the adversary withheld [pid]'s step at [time]. *)
+  | Perform of { time : int; pid : int; task : int; fresh : bool }
+      (** [pid] performed [task]; [fresh] iff this was the first execution
+          of the task anywhere in the system. *)
+  | Broadcast of { time : int; src : int; copies : int }
+      (** [src] multicast to [copies] destinations. *)
+  | Halt of { time : int; pid : int }
+  | Crash of { time : int; pid : int }
+  | Note of { time : int; text : string }
+      (** free-form annotations (adversaries mark stage boundaries etc.). *)
+
+type t
+
+val create : unit -> t
+val add : t -> event -> unit
+val length : t -> int
+val events : t -> event list
+(** In recording order. *)
+
+val iter : t -> (event -> unit) -> unit
+
+val time_of : event -> int
+
+val timeline : t -> p:int -> until:int -> string array
+(** [timeline tr ~p ~until] renders one row per processor over times
+    [0..until-1]:
+    ['#'] a step that performed a task, ['o'] a step without a task,
+    ['.'] a step withheld by the adversary, ['X'] crashed, ['H'] halted,
+    [' '] before/after activity. This is the rendering used to reproduce
+    Fig. 1 of the paper. *)
+
+val pp_timeline : Format.formatter -> t * int * int -> unit
+(** [pp_timeline ppf (tr, p, until)] prints the {!timeline} rows with pid
+    labels. *)

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Doall_sim Fun Hashtbl List Option

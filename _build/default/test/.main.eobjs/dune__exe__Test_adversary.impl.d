@@ -1,0 +1,1 @@
+test/test_adversary.ml: Adversary Alcotest Algo_da Algo_pa Array Config Crash Delay Doall_adversary Doall_core Doall_sim Engine Lb_deterministic Lb_randomized List Metrics Printf Schedule

@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Adversary Alcotest Algo_da Algo_pa Algo_trivial Algorithm Array Bitset Config Doall_adversary Doall_core Doall_perms Doall_sim Engine List Metrics Printf

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Bounds Doall_analysis Fit Float Lemma32 List Plot Printf Stats String Table

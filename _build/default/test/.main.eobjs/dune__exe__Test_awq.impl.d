@@ -1,0 +1,1 @@
+test/test_awq.ml: Alcotest Algo_awq Algo_da Algo_trivial Algorithm Bitset Config Doall_adversary Doall_core Doall_quorum Doall_sim Engine Fun List Metrics Printf Quorum Register Runner String

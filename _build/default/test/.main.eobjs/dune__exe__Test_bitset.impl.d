@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Bitset Doall_sim Fun List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_config_metrics.ml: Alcotest Array Config Doall_core Doall_sim Format List Metrics Runner Str String

@@ -1,0 +1,1 @@
+test/test_contention.ml: Alcotest Array Contention Doall_perms Doall_sim Gen List Perm Printf QCheck2 QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_coord.ml: Alcotest Algo_coord Algo_pa Algorithm Bitset Config Doall_adversary Doall_core Doall_sim Engine List Metrics Printf Runner

@@ -1,0 +1,1 @@
+test/test_docs.ml: Alcotest Doall_core Doall_quorum Filename Fun List Str Sys

@@ -1,0 +1,1 @@
+test/test_engine.ml: Adversary Alcotest Algo_da Algo_pa Algo_trivial Array Config Doall_adversary Doall_core Doall_sim Engine Fun List Metrics Trace

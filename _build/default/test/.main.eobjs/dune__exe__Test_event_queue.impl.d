@@ -1,0 +1,1 @@
+test/test_event_queue.ml: Alcotest Doall_sim Event_queue List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_gen_search.ml: Alcotest Contention Doall_perms Doall_sim Gen List Perm Printf Rng Search

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Doall_core Doall_quorum Doall_sim List Runner

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Doall_sim Heap List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Algo_pa Config Contention Doall_core Doall_perms Doall_sim Engine Gen List Metrics Printf Runner

@@ -1,0 +1,1 @@
+test/test_lrm.ml: Alcotest Array Doall_perms Doall_sim Fun List Lrm Perm QCheck2 QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Doall_sim List Network Rng

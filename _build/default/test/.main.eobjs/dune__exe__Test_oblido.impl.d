@@ -1,0 +1,1 @@
+test/test_oblido.ml: Adversary Alcotest Array Config Contention Doall_core Doall_perms Doall_sim Engine Fun Gen List Oblido Perm QCheck2 QCheck_alcotest Rng Search String

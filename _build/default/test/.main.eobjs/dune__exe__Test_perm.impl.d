@@ -1,0 +1,1 @@
+test/test_perm.ml: Alcotest Array Doall_perms Doall_sim Fmt List Perm QCheck2 QCheck_alcotest Rng String

@@ -1,0 +1,1 @@
+test/test_progress_tree.ml: Alcotest Bitset Doall_core Doall_sim Fun List Progress_tree QCheck2 QCheck_alcotest

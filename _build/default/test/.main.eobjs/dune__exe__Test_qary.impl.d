@@ -1,0 +1,1 @@
+test/test_qary.ml: Alcotest Array Doall_perms Fun List QCheck2 QCheck_alcotest Qary

@@ -1,0 +1,1 @@
+test/test_recorder.ml: Adversary Alcotest Algo_da Algo_pa Config Crash Doall_adversary Doall_core Doall_sim Engine Lb_randomized Metrics Recorder

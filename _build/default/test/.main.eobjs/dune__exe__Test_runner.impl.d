@@ -1,0 +1,1 @@
+test/test_runner.ml: Alcotest Doall_core Doall_sim List Runner

@@ -1,0 +1,1 @@
+test/test_sharedmem.ml: Alcotest Doall_core Doall_perms Doall_sharedmem Doall_sim Gen List Perm Printf Write_all

@@ -1,0 +1,1 @@
+test/test_task.ml: Alcotest Bitset Doall_core Doall_sim Fun List QCheck2 QCheck_alcotest Task

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Doall_sim Format String Trace

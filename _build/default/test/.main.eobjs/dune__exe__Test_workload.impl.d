@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Doall_core Doall_sim Doall_workload List QCheck2 QCheck_alcotest Runner Workload

@@ -1,0 +1,33 @@
+let () =
+  Alcotest.run "doall"
+    [
+      ("rng", Test_rng.suite);
+      ("bitset", Test_bitset.suite);
+      ("heap", Test_heap.suite);
+      ("event-queue", Test_event_queue.suite);
+      ("network", Test_network.suite);
+      ("trace", Test_trace.suite);
+      ("perm", Test_perm.suite);
+      ("lrm", Test_lrm.suite);
+      ("contention", Test_contention.suite);
+      ("qary", Test_qary.suite);
+      ("gen-search", Test_gen_search.suite);
+      ("task", Test_task.suite);
+      ("progress-tree", Test_progress_tree.suite);
+      ("engine", Test_engine.suite);
+      ("config-metrics", Test_config_metrics.suite);
+      ("algorithms", Test_algorithms.suite);
+      ("oblido", Test_oblido.suite);
+      ("adversary", Test_adversary.suite);
+      ("recorder", Test_recorder.suite);
+      ("analysis", Test_analysis.suite);
+      ("runner", Test_runner.suite);
+      ("awq", Test_awq.suite);
+      ("coord", Test_coord.suite);
+      ("workload", Test_workload.suite);
+      ("sharedmem", Test_sharedmem.suite);
+      ("golden", Test_golden.suite);
+      ("docs", Test_docs.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("integration", Test_integration.suite);
+    ]

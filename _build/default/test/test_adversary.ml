@@ -1,0 +1,192 @@
+open Doall_sim
+open Doall_adversary
+open Doall_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let run ?(p = 8) ?(t = 32) ?(d = 4) ?(seed = 0) ?(algo = Algo_pa.make_det ())
+    adv =
+  let cfg = Config.make ~seed ~p ~t () in
+  Engine.run_packed algo cfg ~d ~adversary:adv ()
+
+let test_delay_policies_complete () =
+  List.iter
+    (fun (name, delay) ->
+      let m = run (Delay.into ~name delay) in
+      check (name ^ " completes") true m.Metrics.completed)
+    [
+      ("immediate", Delay.immediate);
+      ("constant-3", Delay.constant 3);
+      ("maximal", Delay.maximal);
+      ("uniform", Delay.uniform);
+      ("bimodal", Delay.bimodal ~slow_fraction:0.3);
+      ("per-dest", Delay.per_destination (fun dst -> 1 + (dst mod 3)));
+      ("batched", Delay.stage_batched ~stage_len:4);
+      ("partition", Delay.partition ~split:4);
+      ("churn", Delay.churn ~calm:6 ~storm:6);
+      ("targeted", Delay.targeted ~victims:(fun pid -> pid mod 3 = 0));
+    ]
+
+let test_partition_slows_cross_traffic () =
+  (* A partitioned network with large d must cost more than a uniform
+     fast one on a coordination-heavy algorithm. *)
+  let w_fast = (run (Delay.into ~name:"i" Delay.immediate) ~d:32).Metrics.work in
+  let w_part =
+    (run (Delay.into ~name:"p" (Delay.partition ~split:4)) ~d:32).Metrics.work
+  in
+  check "partition costs work" true (w_part >= w_fast)
+
+let test_churn_between_extremes () =
+  let w_fast = (run (Delay.into ~name:"i" Delay.immediate) ~d:16).Metrics.work in
+  let w_slow = (run (Delay.into ~name:"m" Delay.maximal) ~d:16).Metrics.work in
+  let w_churn =
+    (run (Delay.into ~name:"c" (Delay.churn ~calm:8 ~storm:8)) ~d:16)
+      .Metrics.work
+  in
+  check
+    (Printf.sprintf "fast %d <= churn %d <= slow %d (with slack)" w_fast
+       w_churn w_slow)
+    true
+    (w_churn >= w_fast && w_churn <= (2 * w_slow) + 16)
+
+let test_max_delay_increases_work () =
+  let w_fast = (run (Delay.into ~name:"i" Delay.immediate) ~d:16).Metrics.work in
+  let w_slow = (run (Delay.into ~name:"m" Delay.maximal) ~d:16).Metrics.work in
+  check "slower network, no less work" true (w_slow >= w_fast)
+
+let test_schedules_complete () =
+  List.iter
+    (fun (name, schedule) ->
+      let m = run (Schedule.into ~name schedule) in
+      check (name ^ " completes") true m.Metrics.completed)
+    [
+      ("all", Schedule.all);
+      ("solo", Schedule.solo 0);
+      ("solo-last", Schedule.solo 7);
+      ("round-robin", Schedule.round_robin ~width:3);
+      ("random-subset", Schedule.random_subset ~prob:0.4);
+      ("harmonic", Schedule.harmonic_speeds);
+      ("laggard", Schedule.adaptive_laggard);
+    ]
+
+let test_solo_serializes () =
+  let m = run (Schedule.into ~name:"solo" (Schedule.solo 2)) ~p:4 ~t:12 in
+  (* Only processor 2 works: its work is the total. *)
+  check_int "one worker" m.Metrics.work m.Metrics.per_proc_work.(2)
+
+let test_round_robin_spreads () =
+  let m = run (Schedule.into ~name:"rr" (Schedule.round_robin ~width:2)) in
+  let active = Array.fold_left (fun acc w -> if w > 0 then acc + 1 else acc) 0
+      m.Metrics.per_proc_work
+  in
+  check "several processors participated" true (active >= 2)
+
+let test_crashes_complete () =
+  List.iter
+    (fun (name, crash) ->
+      let m = run (Crash.into ~name crash) in
+      check (name ^ " completes") true m.Metrics.completed)
+    [
+      ("none", Crash.none);
+      ("at-time", Crash.at_time ~time:2 ~pids:[ 1; 3 ]);
+      ("all-but-one", Crash.all_but_one ~survivor:4 ~time:1);
+      ("poisson", Crash.poisson ~rate:0.02);
+      ("staggered", Crash.staggered ~every:3);
+    ]
+
+let test_all_but_one_crash_counts () =
+  let m = run (Crash.into ~name:"abo" (Crash.all_but_one ~survivor:0 ~time:1)) in
+  check_int "p-1 crashed" 7 m.Metrics.crashed
+
+let test_lb_det_stages_recorded () =
+  let adv = Lb_deterministic.create () in
+  let m = run adv ~p:16 ~t:16 ~d:4 ~algo:(Algo_da.make ~q:2 ()) in
+  check "completes" true m.Metrics.completed;
+  let stages = Lb_deterministic.stages_of adv in
+  check "at least one stage" true (List.length stages >= 1);
+  (* u_s decreases across stages *)
+  let us_list = List.map (fun (_, us, _) -> us) stages in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+    | _ -> true
+  in
+  check "u_s non-increasing" true (non_increasing us_list);
+  (* J_s tasks were unperformed at stage start and the set is non-empty *)
+  List.iter
+    (fun (_, us, js) ->
+      check "J_s non-empty" true (List.length js >= 1);
+      check "J_s within undone" true (List.length js <= us))
+    stages
+
+let test_lb_det_hurts_da () =
+  (* The stage adversary must not make the algorithm cheaper than the
+     friendly fair adversary. *)
+  let fair = (run Adversary.fair ~p:32 ~t:32 ~d:8 ~algo:(Algo_da.make ~q:2 ())).Metrics.work in
+  let adv = Lb_deterministic.create () in
+  let hostile = (run adv ~p:32 ~t:32 ~d:8 ~algo:(Algo_da.make ~q:2 ())).Metrics.work in
+  check
+    (Printf.sprintf "hostile %d >= fair %d" hostile fair)
+    true (hostile >= fair)
+
+let test_lb_rand_hurts_pa () =
+  let algo = Algo_pa.make_ran1 () in
+  let fair = (run Adversary.fair ~p:32 ~t:32 ~d:8 ~algo).Metrics.work in
+  let adv = Lb_randomized.create () in
+  let hostile = (run adv ~p:32 ~t:32 ~d:8 ~algo).Metrics.work in
+  check
+    (Printf.sprintf "hostile %d >= fair %d" hostile fair)
+    true (hostile >= fair)
+
+let test_lb_rand_stages_recorded () =
+  let adv = Lb_randomized.create ~selection:`Random () in
+  let m = run adv ~p:16 ~t:16 ~d:4 ~algo:(Algo_pa.make_ran2 ()) in
+  check "completes" true m.Metrics.completed;
+  check "stages recorded" true (List.length (Lb_randomized.stages_of adv) >= 1)
+
+let test_lb_work_grows_with_d () =
+  (* The heart of the delay-sensitive lower bound: more delay budget, more
+     forced work. Needs p = t large enough that the forced p*delta/3 per
+     stage dominates the algorithm's baseline traversal cost. *)
+  let work d =
+    let adv = Lb_deterministic.create () in
+    (run adv ~p:64 ~t:64 ~d ~algo:(Algo_da.make ~q:4 ())).Metrics.work
+  in
+  let w1 = work 1 and w8 = work 8 in
+  check (Printf.sprintf "w(d=8)=%d > w(d=1)=%d * 1.2" w8 w1) true
+    (float_of_int w8 >= 1.2 *. float_of_int w1)
+
+let test_batched_delivery_legal () =
+  (* stage_batched with stage_len <= d never exceeds the bound: engine
+     clamps, so completion plus work sanity suffices here; delivery
+     batching must not lose messages (PA would then stall). *)
+  let m = run (Delay.into ~name:"b" (Delay.stage_batched ~stage_len:4)) ~d:4 in
+  check "completes" true m.Metrics.completed
+
+let suite =
+  [
+    Alcotest.test_case "delay policies complete" `Quick
+      test_delay_policies_complete;
+    Alcotest.test_case "max delay costs work" `Quick
+      test_max_delay_increases_work;
+    Alcotest.test_case "partition slows cross traffic" `Quick
+      test_partition_slows_cross_traffic;
+    Alcotest.test_case "churn between extremes" `Quick
+      test_churn_between_extremes;
+    Alcotest.test_case "schedules complete" `Quick test_schedules_complete;
+    Alcotest.test_case "solo serializes" `Quick test_solo_serializes;
+    Alcotest.test_case "round-robin spreads" `Quick test_round_robin_spreads;
+    Alcotest.test_case "crash patterns complete" `Quick test_crashes_complete;
+    Alcotest.test_case "all-but-one crash count" `Quick
+      test_all_but_one_crash_counts;
+    Alcotest.test_case "lb-det records stages" `Quick
+      test_lb_det_stages_recorded;
+    Alcotest.test_case "lb-det >= fair on DA" `Quick test_lb_det_hurts_da;
+    Alcotest.test_case "lb-rand >= fair on PaRan1" `Quick test_lb_rand_hurts_pa;
+    Alcotest.test_case "lb-rand records stages" `Quick
+      test_lb_rand_stages_recorded;
+    Alcotest.test_case "forced work grows with d" `Quick
+      test_lb_work_grows_with_d;
+    Alcotest.test_case "batched delivery legal" `Quick
+      test_batched_delivery_legal;
+  ]

@@ -1,0 +1,277 @@
+(* The quorum-replicated emulation route (Section 1.1): correctness under
+   quorum-preserving adversity, the monotone-register optimizations, the
+   delay sensitivity of memory operations, and the paper's caveat — no
+   liveness once crashes destroy the quorum. *)
+
+open Doall_sim
+open Doall_core
+open Doall_quorum
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let run ?(seed = 1) ?(p = 8) ?(t = 32) ?(d = 3) ?max_time ?(algo = Algo_awq.make ())
+    adv_name =
+  let adversary = (Runner.find_adv adv_name).Runner.instantiate ~p ~t ~d in
+  let cfg = Config.make ~seed ~p ~t () in
+  Engine.run_packed algo cfg ~d ~adversary ?max_time ()
+
+let test_quorum_arithmetic () =
+  let q = Quorum.majority ~p:7 in
+  check_int "threshold" 4 (Quorum.threshold q);
+  check "intersecting" true (Quorum.intersecting q);
+  check "viable at 4" true (Quorum.viable_count q ~live:4);
+  check "not viable at 3" false (Quorum.viable_count q ~live:3);
+  check "satisfied with 4 responders" true
+    (Quorum.satisfied q (Bitset.of_list 7 [ 0; 2; 4; 6 ]));
+  check "unsatisfied with 3" false
+    (Quorum.satisfied q (Bitset.of_list 7 [ 0; 2; 4 ]));
+  let weak = Quorum.of_threshold ~p:7 ~threshold:3 in
+  check "non-intersecting flagged" false (Quorum.intersecting weak);
+  Alcotest.check_raises "bad threshold"
+    (Invalid_argument "Quorum.of_threshold: threshold must be in 1..p")
+    (fun () -> ignore (Quorum.of_threshold ~p:4 ~threshold:5))
+
+let test_grid_quorum () =
+  (* 3x3 grid over pids 0..8: row r = {3r, 3r+1, 3r+2}, col c = {c, c+3,
+     c+6}. A quorum needs a full row AND a full column. *)
+  let g = Quorum.grid ~p:9 ~rows:3 ~cols:3 in
+  check "intersecting" true (Quorum.intersecting g);
+  check_int "smallest quorum size" 5 (Quorum.threshold g);
+  check "row 0 + col 0" true
+    (Quorum.satisfied g (Bitset.of_list 9 [ 0; 1; 2; 3; 6 ]));
+  check "row without column" false
+    (Quorum.satisfied g (Bitset.of_list 9 [ 0; 1; 2 ]));
+  check "column without row" false
+    (Quorum.satisfied g (Bitset.of_list 9 [ 0; 3; 6 ]));
+  check "everything" true
+    (Quorum.satisfied g (Bitset.of_list 9 (List.init 9 Fun.id)));
+  (* losing one whole row kills all quorums even with 6 survivors *)
+  check "row loss fatal despite 6 live" false
+    (Quorum.satisfied g (Bitset.of_list 9 [ 0; 1; 2; 3; 4; 5 ]));
+  Alcotest.check_raises "dimension mismatch"
+    (Invalid_argument "Quorum.grid: rows * cols must equal p") (fun () ->
+      ignore (Quorum.grid ~p:10 ~rows:3 ~cols:3))
+
+let test_square_grid () =
+  check "p=9 has a square grid" true (Quorum.square_grid ~p:9 <> None);
+  check "p=8 does not" true (Quorum.square_grid ~p:8 = None)
+
+let test_awq_with_grid_quorum () =
+  let m =
+    run ~p:9 ~t:27
+      ~algo:
+        (Algo_awq.make
+           ~quorum:(fun ~p ->
+             match Quorum.square_grid ~p with
+             | Some g -> g
+             | None -> Quorum.majority ~p)
+           ())
+      "uniform-delay"
+  in
+  check "grid-quorum AWQ completes" true m.Metrics.completed
+
+let test_awq_grid_row_loss_stalls () =
+  (* crash one full row of a 3x3 grid: 6 survivors, but no quorum. *)
+  let adv =
+    Doall_adversary.Crash.into ~name:"kill-row"
+      (Doall_adversary.Crash.at_time ~time:2 ~pids:[ 0; 1; 2 ])
+  in
+  let algo =
+    Algo_awq.make
+      ~quorum:(fun ~p ->
+        match Quorum.square_grid ~p with
+        | Some g -> g
+        | None -> Quorum.majority ~p)
+      ()
+  in
+  let cfg = Config.make ~seed:1 ~p:9 ~t:27 () in
+  let m = Engine.run_packed algo cfg ~d:3 ~adversary:adv ~max_time:5_000 () in
+  check "row loss stalls the grid system" false m.Metrics.completed;
+  (* while a majority system tolerates the same crash pattern *)
+  let cfg = Config.make ~seed:1 ~p:9 ~t:27 () in
+  let adv2 =
+    Doall_adversary.Crash.into ~name:"kill-row2"
+      (Doall_adversary.Crash.at_time ~time:2 ~pids:[ 0; 1; 2 ])
+  in
+  let m2 =
+    Engine.run_packed (Algo_awq.make ()) cfg ~d:3 ~adversary:adv2 ()
+  in
+  check "majority survives the same crashes" true m2.Metrics.completed
+
+let test_completes_under_benign_adversaries () =
+  List.iter
+    (fun adv ->
+      let m = run adv in
+      check (adv ^ " completes") true m.Metrics.completed;
+      check (adv ^ " executions >= t") true (m.Metrics.executions >= 32))
+    [ "fair"; "max-delay"; "uniform-delay"; "round-robin"; "harmonic";
+      "random-half"; "batch"; "lb-det"; "lb-rand" ]
+
+let test_shapes () =
+  List.iter
+    (fun (p, t) ->
+      List.iter
+        (fun q ->
+          let m = run ~p ~t ~algo:(Algo_awq.make ~q ()) "uniform-delay" in
+          if not m.Metrics.completed then
+            Alcotest.failf "awq-q%d p=%d t=%d did not complete" q p t)
+        [ 2; 4 ])
+    [ (1, 1); (1, 9); (3, 3); (5, 20); (9, 9); (16, 8) ]
+
+let test_knowledge_soundness () =
+  let (module A : Algorithm.S) = Algo_awq.make () in
+  let module E = Engine.Make (A) in
+  let cfg = Config.make ~seed:3 ~p:6 ~t:24 () in
+  let adversary = (Runner.find_adv "random-half").Runner.instantiate ~p:6 ~t:24 ~d:4 in
+  let eng = E.create cfg ~d:4 ~adversary in
+  let m = E.run eng in
+  check "completed" true m.Metrics.completed;
+  for pid = 0 to 5 do
+    check "knowledge sound" true
+      (Bitset.subset (A.done_tasks (E.state eng pid)) (E.global_done eng))
+  done
+
+let test_minority_crash_survives () =
+  (* p=9, 4 crashes: majority of 5 remains, the system must finish. *)
+  let m = run ~p:9 ~t:36 "crash-half" in
+  check "completes with minority crashed" true m.Metrics.completed
+
+let test_majority_crash_stalls () =
+  (* The paper's caveat: quorum destroyed -> Do-All never solved.
+     crash-all-but-one leaves 1 < majority(8) alive. *)
+  let m = run ~max_time:5_000 "crash-all-but-one" in
+  check "does NOT complete" false m.Metrics.completed;
+  (* ... while a survivor-liveness algorithm on the same run completes *)
+  let m2 = run ~algo:(Algo_da.make ()) "crash-all-but-one" in
+  check "DA completes on the same schedule" true m2.Metrics.completed
+
+let test_solo_stalls () =
+  (* A single stepping processor cannot gather a quorum. *)
+  let m = run ~max_time:5_000 "solo" in
+  check "solo starves the quorum" false m.Metrics.completed
+
+let test_delay_sensitivity_of_ops () =
+  (* Each memory op waits ~d; work must grow markedly with d, much
+     faster than DA's (DA reads locally). *)
+  let awq d = (run ~t:64 ~d "max-delay").Metrics.work in
+  let da d =
+    (run ~t:64 ~d ~algo:(Algo_da.make ()) "max-delay").Metrics.work
+  in
+  let awq_growth = float_of_int (awq 16) /. float_of_int (awq 1) in
+  let da_growth = float_of_int (da 16) /. float_of_int (da 1) in
+  check
+    (Printf.sprintf "awq growth %.2f > da growth %.2f" awq_growth da_growth)
+    true
+    (awq_growth > da_growth)
+
+let test_message_complexity_structure () =
+  (* Requests are multicast (p-1), responses unicast: M is dominated by
+     ops * (2p - 2); just check M <= p * W as for DA-family algorithms. *)
+  let m = run ~p:8 ~t:32 "uniform-delay" in
+  check "M <= p*W" true (m.Metrics.messages <= 8 * m.Metrics.work)
+
+let test_registry_integration () =
+  Register.install ();
+  let spec = Runner.find_algo "awq-q4" in
+  check "registered" true (spec.Runner.algo_name = "awq-q4");
+  check "liveness flag" true (spec.Runner.liveness = `Needs_quorum);
+  let r = Runner.run ~algo:"awq-q4" ~adv:"fair" ~p:6 ~t:18 ~d:2 () in
+  check "runs by name" true r.Runner.metrics.Metrics.completed
+
+let test_register_idempotent () =
+  Register.install ();
+  Register.install ();
+  let names =
+    List.filter
+      (fun s -> String.length s.Runner.algo_name >= 3
+                && String.sub s.Runner.algo_name 0 3 = "awq")
+      (Runner.all_algorithms ())
+  in
+  check_int "exactly four awq entries" 4 (List.length names)
+
+let test_abd_protocol_correct () =
+  List.iter
+    (fun adv ->
+      let m = run ~algo:(Algo_awq.make ~protocol:`Abd ()) adv in
+      check ("abd " ^ adv ^ " completes") true m.Metrics.completed)
+    [ "fair"; "max-delay"; "uniform-delay"; "round-robin"; "random-half" ]
+
+let test_abd_costs_about_double () =
+  let w proto =
+    (run ~t:64 ~d:8 ~algo:(Algo_awq.make ~protocol:proto ()) "max-delay")
+      .Metrics.work
+  in
+  let mono = w `Monotone and abd = w `Abd in
+  let ratio = float_of_int abd /. float_of_int mono in
+  check
+    (Printf.sprintf "abd %d ~ 2x monotone %d (ratio %.2f)" abd mono ratio)
+    true
+    (ratio > 1.4 && ratio < 3.0)
+
+let test_abd_knowledge_soundness () =
+  let (module A : Algorithm.S) = Algo_awq.make ~protocol:`Abd () in
+  let module E = Engine.Make (A) in
+  let cfg = Config.make ~seed:8 ~p:5 ~t:20 () in
+  let adversary =
+    (Runner.find_adv "uniform-delay").Runner.instantiate ~p:5 ~t:20 ~d:3
+  in
+  let eng = E.create cfg ~d:3 ~adversary in
+  let m = E.run eng in
+  check "completed" true m.Metrics.completed;
+  for pid = 0 to 4 do
+    check "sound" true
+      (Bitset.subset (A.done_tasks (E.state eng pid)) (E.global_done eng))
+  done
+
+let test_builtin_names_protected () =
+  check "cannot shadow built-in" true
+    (try
+       Runner.register_algorithm
+         {
+           Runner.algo_name = "trivial";
+           doc = "";
+           make = (fun () -> Algo_trivial.make ());
+           deterministic = true;
+           liveness = `Any_survivor;
+         };
+       false
+     with Invalid_argument _ -> true)
+
+let test_deterministic_reproducible () =
+  let w seed = (run ~seed "max-delay").Metrics.work in
+  check_int "seed-insensitive" (w 1) (w 2)
+
+let suite =
+  [
+    Alcotest.test_case "quorum arithmetic" `Quick test_quorum_arithmetic;
+    Alcotest.test_case "grid quorum" `Quick test_grid_quorum;
+    Alcotest.test_case "square grid" `Quick test_square_grid;
+    Alcotest.test_case "AWQ with grid quorum" `Quick test_awq_with_grid_quorum;
+    Alcotest.test_case "grid row loss stalls" `Quick
+      test_awq_grid_row_loss_stalls;
+    Alcotest.test_case "completes under benign adversaries" `Quick
+      test_completes_under_benign_adversaries;
+    Alcotest.test_case "instance shapes" `Quick test_shapes;
+    Alcotest.test_case "knowledge soundness" `Quick test_knowledge_soundness;
+    Alcotest.test_case "minority crash survives" `Quick
+      test_minority_crash_survives;
+    Alcotest.test_case "majority crash stalls (paper's caveat)" `Quick
+      test_majority_crash_stalls;
+    Alcotest.test_case "solo starves the quorum" `Quick test_solo_stalls;
+    Alcotest.test_case "memory ops are delay-sensitive" `Quick
+      test_delay_sensitivity_of_ops;
+    Alcotest.test_case "message structure" `Quick
+      test_message_complexity_structure;
+    Alcotest.test_case "registry integration" `Quick test_registry_integration;
+    Alcotest.test_case "register idempotent" `Quick test_register_idempotent;
+    Alcotest.test_case "ABD protocol correct" `Quick test_abd_protocol_correct;
+    Alcotest.test_case "ABD costs ~2x monotone" `Quick
+      test_abd_costs_about_double;
+    Alcotest.test_case "ABD knowledge soundness" `Quick
+      test_abd_knowledge_soundness;
+    Alcotest.test_case "built-in names protected" `Quick
+      test_builtin_names_protected;
+    Alcotest.test_case "deterministic reproducible" `Quick
+      test_deterministic_reproducible;
+  ]

@@ -1,0 +1,171 @@
+open Doall_sim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_create_empty () =
+  let b = Bitset.create 10 in
+  check_int "length" 10 (Bitset.length b);
+  check_int "cardinal" 0 (Bitset.cardinal b);
+  check "empty" true (Bitset.is_empty b);
+  check "not full" false (Bitset.is_full b);
+  for i = 0 to 9 do
+    check "bit clear" false (Bitset.mem b i)
+  done
+
+let test_zero_capacity () =
+  let b = Bitset.create 0 in
+  check "empty" true (Bitset.is_empty b);
+  check "vacuously full" true (Bitset.is_full b)
+
+let test_set_mem () =
+  let b = Bitset.create 20 in
+  Bitset.set b 0;
+  Bitset.set b 7;
+  Bitset.set b 8;
+  Bitset.set b 19;
+  check "0" true (Bitset.mem b 0);
+  check "7" true (Bitset.mem b 7);
+  check "8 (byte boundary)" true (Bitset.mem b 8);
+  check "19" true (Bitset.mem b 19);
+  check "1 clear" false (Bitset.mem b 1);
+  check_int "cardinal" 4 (Bitset.cardinal b)
+
+let test_set_idempotent () =
+  let b = Bitset.create 5 in
+  Bitset.set b 3;
+  Bitset.set b 3;
+  check_int "cardinal counts once" 1 (Bitset.cardinal b)
+
+let test_out_of_range () =
+  let b = Bitset.create 5 in
+  Alcotest.check_raises "set -1" (Invalid_argument "Bitset: index out of range")
+    (fun () -> Bitset.set b (-1));
+  Alcotest.check_raises "mem 5" (Invalid_argument "Bitset: index out of range")
+    (fun () -> ignore (Bitset.mem b 5))
+
+let test_full () =
+  let b = Bitset.create 9 in
+  for i = 0 to 8 do
+    Bitset.set b i
+  done;
+  check "full" true (Bitset.is_full b)
+
+let test_copy_independent () =
+  let a = Bitset.create 8 in
+  Bitset.set a 2;
+  let b = Bitset.copy a in
+  Bitset.set b 5;
+  check "copy has original bit" true (Bitset.mem b 2);
+  check "original unaffected" false (Bitset.mem a 5)
+
+let test_union () =
+  let a = Bitset.of_list 10 [ 1; 3; 5 ] in
+  let b = Bitset.of_list 10 [ 3; 4 ] in
+  Bitset.union_into ~dst:a b;
+  Alcotest.(check (list int)) "union" [ 1; 3; 4; 5 ] (Bitset.to_list a);
+  check_int "cardinal recomputed" 4 (Bitset.cardinal a);
+  Alcotest.(check (list int)) "src untouched" [ 3; 4 ] (Bitset.to_list b)
+
+let test_union_mismatch () =
+  let a = Bitset.create 4 and b = Bitset.create 5 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Bitset.union_into: capacity mismatch") (fun () ->
+      Bitset.union_into ~dst:a b)
+
+let test_subset () =
+  let a = Bitset.of_list 8 [ 1; 2 ] in
+  let b = Bitset.of_list 8 [ 1; 2; 5 ] in
+  check "a <= b" true (Bitset.subset a b);
+  check "b </= a" false (Bitset.subset b a);
+  check "a <= a" true (Bitset.subset a a);
+  check "empty <= a" true (Bitset.subset (Bitset.create 8) a)
+
+let test_equal () =
+  let a = Bitset.of_list 8 [ 0; 7 ] in
+  let b = Bitset.of_list 8 [ 0; 7 ] in
+  let c = Bitset.of_list 8 [ 0 ] in
+  check "equal" true (Bitset.equal a b);
+  check "not equal" false (Bitset.equal a c)
+
+let test_missing () =
+  let b = Bitset.of_list 6 [ 0; 2; 4 ] in
+  Alcotest.(check (list int)) "missing" [ 1; 3; 5 ] (Bitset.missing b);
+  Alcotest.(check (option int)) "first missing" (Some 1)
+    (Bitset.first_missing b)
+
+let test_first_missing_full () =
+  let b = Bitset.of_list 3 [ 0; 1; 2 ] in
+  Alcotest.(check (option int)) "none" None (Bitset.first_missing b)
+
+let test_iterators () =
+  let b = Bitset.of_list 7 [ 1; 4; 6 ] in
+  let set_acc = ref [] and miss_acc = ref [] in
+  Bitset.iter_set b (fun i -> set_acc := i :: !set_acc);
+  Bitset.iter_missing b (fun i -> miss_acc := i :: !miss_acc);
+  Alcotest.(check (list int)) "iter_set" [ 1; 4; 6 ] (List.rev !set_acc);
+  Alcotest.(check (list int)) "iter_missing" [ 0; 2; 3; 5 ]
+    (List.rev !miss_acc)
+
+(* qcheck properties *)
+
+let indices_gen =
+  QCheck2.Gen.(
+    let* n = int_range 1 64 in
+    let* is = list_size (int_range 0 40) (int_range 0 (n - 1)) in
+    return (n, is))
+
+let prop_cardinal_matches =
+  QCheck2.Test.make ~name:"cardinal = |distinct indices|" ~count:200
+    indices_gen (fun (n, is) ->
+      let b = Bitset.of_list n is in
+      Bitset.cardinal b = List.length (List.sort_uniq compare is))
+
+let prop_union_commutes_with_membership =
+  QCheck2.Test.make ~name:"union membership = or of memberships" ~count:200
+    QCheck2.Gen.(
+      let* n = int_range 1 48 in
+      let* xs = list_size (int_range 0 30) (int_range 0 (n - 1)) in
+      let* ys = list_size (int_range 0 30) (int_range 0 (n - 1)) in
+      return (n, xs, ys))
+    (fun (n, xs, ys) ->
+      let a = Bitset.of_list n xs and b = Bitset.of_list n ys in
+      let u = Bitset.copy a in
+      Bitset.union_into ~dst:u b;
+      List.for_all
+        (fun i -> Bitset.mem u i = (Bitset.mem a i || Bitset.mem b i))
+        (List.init n Fun.id))
+
+let prop_subset_iff_union_noop =
+  QCheck2.Test.make ~name:"subset a b iff union b a = b" ~count:200
+    QCheck2.Gen.(
+      let* n = int_range 1 48 in
+      let* xs = list_size (int_range 0 30) (int_range 0 (n - 1)) in
+      let* ys = list_size (int_range 0 30) (int_range 0 (n - 1)) in
+      return (n, xs, ys))
+    (fun (n, xs, ys) ->
+      let a = Bitset.of_list n xs and b = Bitset.of_list n ys in
+      let u = Bitset.copy b in
+      Bitset.union_into ~dst:u a;
+      Bitset.subset a b = Bitset.equal u b)
+
+let suite =
+  [
+    Alcotest.test_case "create empty" `Quick test_create_empty;
+    Alcotest.test_case "zero capacity" `Quick test_zero_capacity;
+    Alcotest.test_case "set and mem" `Quick test_set_mem;
+    Alcotest.test_case "set idempotent" `Quick test_set_idempotent;
+    Alcotest.test_case "out of range" `Quick test_out_of_range;
+    Alcotest.test_case "full" `Quick test_full;
+    Alcotest.test_case "copy independent" `Quick test_copy_independent;
+    Alcotest.test_case "union" `Quick test_union;
+    Alcotest.test_case "union capacity mismatch" `Quick test_union_mismatch;
+    Alcotest.test_case "subset" `Quick test_subset;
+    Alcotest.test_case "equal" `Quick test_equal;
+    Alcotest.test_case "missing" `Quick test_missing;
+    Alcotest.test_case "first_missing on full" `Quick test_first_missing_full;
+    Alcotest.test_case "iterators" `Quick test_iterators;
+    QCheck_alcotest.to_alcotest prop_cardinal_matches;
+    QCheck_alcotest.to_alcotest prop_union_commutes_with_membership;
+    QCheck_alcotest.to_alcotest prop_subset_iff_union_noop;
+  ]

@@ -1,0 +1,91 @@
+open Doall_sim
+
+let check = Alcotest.(check bool)
+
+let test_empty () =
+  let q = Event_queue.create () in
+  check "empty" true (Event_queue.is_empty q);
+  Alcotest.(check (option string)) "nothing due" None
+    (Event_queue.pop_due q ~now:100)
+
+let test_due_ordering () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:5 "c";
+  Event_queue.add q ~time:1 "a";
+  Event_queue.add q ~time:3 "b";
+  Alcotest.(check (list string)) "time order" [ "a"; "b" ]
+    (Event_queue.pop_all_due q ~now:3);
+  Alcotest.(check (list string)) "rest later" [ "c" ]
+    (Event_queue.pop_all_due q ~now:10)
+
+let test_not_due_stays () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:7 "x";
+  Alcotest.(check (option string)) "not due yet" None
+    (Event_queue.pop_due q ~now:6);
+  Alcotest.(check int) "still queued" 1 (Event_queue.size q);
+  Alcotest.(check (option string)) "due now" (Some "x")
+    (Event_queue.pop_due q ~now:7)
+
+let test_tie_break_fifo () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:2 "first";
+  Event_queue.add q ~time:2 "second";
+  Event_queue.add q ~time:2 "third";
+  Alcotest.(check (list string)) "insertion order at equal time"
+    [ "first"; "second"; "third" ]
+    (Event_queue.pop_all_due q ~now:2)
+
+let test_past_events () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:0 "late-scheduled";
+  Alcotest.(check (option string)) "past delivered" (Some "late-scheduled")
+    (Event_queue.pop_due q ~now:50)
+
+let test_next_time () =
+  let q = Event_queue.create () in
+  Alcotest.(check (option int)) "empty" None (Event_queue.next_time q);
+  Event_queue.add q ~time:9 "x";
+  Event_queue.add q ~time:4 "y";
+  Alcotest.(check (option int)) "min" (Some 4) (Event_queue.next_time q)
+
+let prop_pop_all_due_partitions =
+  QCheck2.Test.make ~name:"pop_all_due returns exactly the due items"
+    ~count:200
+    QCheck2.Gen.(
+      let* events = list_size (int_range 0 60) (int_range 0 50) in
+      let* now = int_range 0 50 in
+      return (events, now))
+    (fun (times, now) ->
+      let q = Event_queue.create () in
+      List.iteri (fun i time -> Event_queue.add q ~time (time, i)) times;
+      let due = Event_queue.pop_all_due q ~now in
+      let expected_due = List.filter (fun time -> time <= now) times in
+      List.length due = List.length expected_due
+      && List.for_all (fun (time, _) -> time <= now) due
+      && Event_queue.size q = List.length times - List.length due)
+
+let prop_delivery_order_monotone =
+  QCheck2.Test.make ~name:"deliveries are time-monotone" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 80) (int_range 0 30))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun time -> Event_queue.add q ~time time) times;
+      let out = Event_queue.pop_all_due q ~now:1000 in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a <= b && monotone rest
+        | _ -> true
+      in
+      monotone out)
+
+let suite =
+  [
+    Alcotest.test_case "empty queue" `Quick test_empty;
+    Alcotest.test_case "due ordering" `Quick test_due_ordering;
+    Alcotest.test_case "not-due stays queued" `Quick test_not_due_stays;
+    Alcotest.test_case "FIFO tie-break" `Quick test_tie_break_fifo;
+    Alcotest.test_case "past events delivered" `Quick test_past_events;
+    Alcotest.test_case "next_time" `Quick test_next_time;
+    QCheck_alcotest.to_alcotest prop_pop_all_due_partitions;
+    QCheck_alcotest.to_alcotest prop_delivery_order_monotone;
+  ]

@@ -1,0 +1,130 @@
+(* Adversary fuzzing: compose random scheduling, delay and crash policies
+   from a seed and check the system-wide invariants on every algorithm —
+   completion, no phantom knowledge, accounting identities. This is the
+   failure-injection counterpart of the hand-written adversary tests. *)
+
+open Doall_sim
+open Doall_core
+open Doall_adversary
+
+let build_adversary rng ~p ~quorum_safe =
+  let pickl l = List.nth l (Rng.int rng (List.length l)) in
+  let starvation_free =
+    (* every processor steps infinitely often — what quorum liveness
+       needs on top of crash-minority (adaptive_laggard can starve a
+       chosen processor forever, which is legal in the model and kills
+       the emulation: see test_awq's majority-crash test for the crash
+       flavour of the same caveat) *)
+    [
+      Schedule.all;
+      Schedule.round_robin ~width:(1 + Rng.int rng (max 1 p));
+      Schedule.random_subset ~prob:(0.3 +. Rng.float rng 0.7);
+      Schedule.harmonic_speeds;
+    ]
+  in
+  let schedule =
+    pickl
+      (if quorum_safe then starvation_free
+       else Schedule.adaptive_laggard :: starvation_free)
+  in
+  let delay =
+    pickl
+      [
+        Delay.immediate;
+        Delay.constant (1 + Rng.int rng 8);
+        Delay.maximal;
+        Delay.uniform;
+        Delay.bimodal ~slow_fraction:(Rng.float rng 1.0);
+        Delay.stage_batched ~stage_len:(1 + Rng.int rng 6);
+        Delay.per_destination (fun dst -> 1 + (dst mod 4));
+      ]
+  in
+  let crash =
+    if quorum_safe then
+      (* lose strictly less than half: quorums stay viable *)
+      let victims = List.init (max 0 (((p + 1) / 2) - 1)) (fun i -> i * 2) in
+      pickl
+        [
+          Crash.none;
+          Crash.at_time ~time:(Rng.int rng 40) ~pids:victims;
+        ]
+    else
+      pickl
+        [
+          Crash.none;
+          Crash.at_time ~time:(Rng.int rng 40)
+            ~pids:(List.init (Rng.int rng p) Fun.id);
+          Crash.poisson ~rate:0.01;
+          Crash.staggered ~every:(1 + Rng.int rng 10);
+        ]
+  in
+  Schedule.combine ~name:"fuzz" ~schedule ~delay ~crash ()
+
+let audit_run (module A : Algorithm.S) ~p ~t ~d ~adversary ~seed =
+  let module E = Engine.Make (A) in
+  let cfg = Config.make ~seed ~p ~t () in
+  let eng = E.create cfg ~d ~adversary in
+  let m = E.run eng in
+  let global = E.global_done eng in
+  if not m.Metrics.completed then Error "did not complete"
+  else if not (Bitset.is_full global) then Error "unperformed tasks"
+  else if m.Metrics.executions < t then Error "executions < t"
+  else if m.Metrics.work < m.Metrics.executions then
+    Error "work below executions"
+  else begin
+    let phantom = ref false in
+    for pid = 0 to p - 1 do
+      if not (Bitset.subset (A.done_tasks (E.state eng pid)) global) then
+        phantom := true
+    done;
+    if !phantom then Error "phantom knowledge" else Ok m
+  end
+
+let fuzz_property ~quorum_safe maker (seed : int) =
+  let rng = Rng.create seed in
+  let p = 1 + Rng.int rng 12 in
+  let t = 1 + Rng.int rng 48 in
+  let d = 1 + Rng.int rng 12 in
+  let adversary = build_adversary rng ~p ~quorum_safe in
+  match audit_run (maker ()) ~p ~t ~d ~adversary ~seed with
+  | Ok _ -> true
+  | Error e ->
+    QCheck2.Test.fail_reportf "p=%d t=%d d=%d seed=%d: %s" p t d seed e
+
+let fuzz_test ~name ~quorum_safe maker =
+  QCheck2.Test.make ~name ~count:120 QCheck2.Gen.(int_range 0 1_000_000)
+    (fuzz_property ~quorum_safe maker)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest
+      (fuzz_test ~name:"fuzz: trivial" ~quorum_safe:false (fun () ->
+           Algo_trivial.make ()));
+    QCheck_alcotest.to_alcotest
+      (fuzz_test ~name:"fuzz: da-q2" ~quorum_safe:false (fun () ->
+           Algo_da.make ~q:2 ()));
+    QCheck_alcotest.to_alcotest
+      (fuzz_test ~name:"fuzz: da-q5" ~quorum_safe:false (fun () ->
+           Algo_da.make ~q:5 ()));
+    QCheck_alcotest.to_alcotest
+      (fuzz_test ~name:"fuzz: paran1" ~quorum_safe:false (fun () ->
+           Algo_pa.make_ran1 ()));
+    QCheck_alcotest.to_alcotest
+      (fuzz_test ~name:"fuzz: paran2" ~quorum_safe:false (fun () ->
+           Algo_pa.make_ran2 ()));
+    QCheck_alcotest.to_alcotest
+      (fuzz_test ~name:"fuzz: padet" ~quorum_safe:false (fun () ->
+           Algo_pa.make_det ()));
+    QCheck_alcotest.to_alcotest
+      (fuzz_test ~name:"fuzz: padet throttled" ~quorum_safe:false (fun () ->
+           Algo_pa.make_det ~broadcast_every:4 ()));
+    QCheck_alcotest.to_alcotest
+      (fuzz_test ~name:"fuzz: paran1 fanout 2" ~quorum_safe:false (fun () ->
+           Algo_pa.make_ran1 ~fanout:2 ()));
+    QCheck_alcotest.to_alcotest
+      (fuzz_test ~name:"fuzz: coord" ~quorum_safe:false (fun () ->
+           Algo_coord.make ()));
+    QCheck_alcotest.to_alcotest
+      (fuzz_test ~name:"fuzz: awq-q4 (quorum-safe crashes)" ~quorum_safe:true
+         (fun () -> Doall_quorum.Algo_awq.make ~q:4 ()));
+  ]

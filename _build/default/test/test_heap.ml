@@ -1,0 +1,89 @@
+open Doall_sim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let int_heap () = Heap.create ~cmp:compare
+
+let test_empty () =
+  let h = int_heap () in
+  check "is_empty" true (Heap.is_empty h);
+  check_int "size" 0 (Heap.size h);
+  Alcotest.(check (option int)) "peek" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop" None (Heap.pop h)
+
+let test_single () =
+  let h = int_heap () in
+  Heap.add h 42;
+  Alcotest.(check (option int)) "peek" (Some 42) (Heap.peek h);
+  Alcotest.(check (option int)) "pop" (Some 42) (Heap.pop h);
+  check "empty after" true (Heap.is_empty h)
+
+let test_ordering () =
+  let h = int_heap () in
+  List.iter (Heap.add h) [ 5; 3; 8; 1; 9; 2 ];
+  let drained = ref [] in
+  let rec go () =
+    match Heap.pop h with
+    | Some x ->
+      drained := x :: !drained;
+      go ()
+    | None -> ()
+  in
+  go ();
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 8; 9 ]
+    (List.rev !drained)
+
+let test_duplicates () =
+  let h = int_heap () in
+  List.iter (Heap.add h) [ 2; 2; 1; 2 ];
+  Alcotest.(check (list int)) "dups kept" [ 1; 2; 2; 2 ] (Heap.to_sorted_list h);
+  check_int "size preserved by to_sorted_list" 4 (Heap.size h)
+
+let test_pop_exn () =
+  let h = int_heap () in
+  Alcotest.check_raises "empty" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let test_clear () =
+  let h = int_heap () in
+  List.iter (Heap.add h) [ 1; 2; 3 ];
+  Heap.clear h;
+  check "cleared" true (Heap.is_empty h)
+
+let test_interleaved () =
+  let h = int_heap () in
+  Heap.add h 5;
+  Heap.add h 1;
+  Alcotest.(check (option int)) "first pop" (Some 1) (Heap.pop h);
+  Heap.add h 0;
+  Heap.add h 7;
+  Alcotest.(check (option int)) "second pop" (Some 0) (Heap.pop h);
+  Alcotest.(check (option int)) "third pop" (Some 5) (Heap.pop h);
+  Alcotest.(check (option int)) "fourth pop" (Some 7) (Heap.pop h)
+
+let test_custom_cmp () =
+  let h = Heap.create ~cmp:(fun a b -> compare b a) in
+  List.iter (Heap.add h) [ 3; 9; 1 ];
+  Alcotest.(check (option int)) "max-heap" (Some 9) (Heap.pop h)
+
+let prop_drain_sorted =
+  QCheck2.Test.make ~name:"heap drains sorted" ~count:300
+    QCheck2.Gen.(list_size (int_range 0 200) int)
+    (fun xs ->
+      let h = int_heap () in
+      List.iter (Heap.add h) xs;
+      let drained = Heap.to_sorted_list h in
+      drained = List.sort compare xs)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "single element" `Quick test_single;
+    Alcotest.test_case "pops in order" `Quick test_ordering;
+    Alcotest.test_case "duplicates kept" `Quick test_duplicates;
+    Alcotest.test_case "pop_exn raises" `Quick test_pop_exn;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "interleaved add/pop" `Quick test_interleaved;
+    Alcotest.test_case "custom comparison" `Quick test_custom_cmp;
+    QCheck_alcotest.to_alcotest prop_drain_sorted;
+  ]

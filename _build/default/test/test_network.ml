@@ -1,0 +1,101 @@
+open Doall_sim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_send_receive () =
+  let net = Network.create ~p:3 in
+  Network.send net ~src:0 ~dst:1 ~due:5 "hello";
+  Alcotest.(check (list (pair int string))) "not yet" []
+    (Network.receive net ~dst:1 ~now:4);
+  Alcotest.(check (list (pair int string))) "delivered" [ (0, "hello") ]
+    (Network.receive net ~dst:1 ~now:5);
+  Alcotest.(check (list (pair int string))) "consumed" []
+    (Network.receive net ~dst:1 ~now:5)
+
+let test_no_self_send () =
+  let net = Network.create ~p:2 in
+  Alcotest.check_raises "self send" (Invalid_argument "Network.send: self-send")
+    (fun () -> Network.send net ~src:1 ~dst:1 ~due:1 ())
+
+let test_pid_range () =
+  let net = Network.create ~p:2 in
+  Alcotest.check_raises "bad dst"
+    (Invalid_argument "Network.send dst: pid out of range") (fun () ->
+      Network.send net ~src:0 ~dst:5 ~due:1 ())
+
+let test_message_counting () =
+  let net = Network.create ~p:4 in
+  (* simulate one multicast from 0: three point-to-point sends *)
+  List.iter (fun dst -> Network.send net ~src:0 ~dst ~due:2 "m") [ 1; 2; 3 ];
+  check_int "sent counts p2p" 3 (Network.sent net);
+  check_int "pending" 3 (Network.pending net);
+  ignore (Network.receive net ~dst:1 ~now:2);
+  check_int "pending after one receive" 2 (Network.pending net);
+  check_int "sent unchanged by receive" 3 (Network.sent net)
+
+let test_delayed_processor_receives_backlog () =
+  (* A processor that did not step for a while gets everything at once,
+     in order. *)
+  let net = Network.create ~p:2 in
+  Network.send net ~src:0 ~dst:1 ~due:1 "a";
+  Network.send net ~src:0 ~dst:1 ~due:3 "b";
+  Network.send net ~src:0 ~dst:1 ~due:2 "c";
+  Alcotest.(check (list (pair int string))) "backlog in due order"
+    [ (0, "a"); (0, "c"); (0, "b") ]
+    (Network.receive net ~dst:1 ~now:10)
+
+let test_per_destination_isolation () =
+  let net = Network.create ~p:3 in
+  Network.send net ~src:0 ~dst:1 ~due:1 "for1";
+  Network.send net ~src:0 ~dst:2 ~due:1 "for2";
+  Alcotest.(check (list (pair int string))) "only own messages"
+    [ (0, "for2") ]
+    (Network.receive net ~dst:2 ~now:1);
+  check_int "pending_for dst 1" 1 (Network.pending_for net ~dst:1)
+
+let test_next_due () =
+  let net = Network.create ~p:2 in
+  Alcotest.(check (option int)) "none" None (Network.next_due net ~dst:1);
+  Network.send net ~src:0 ~dst:1 ~due:9 ();
+  Network.send net ~src:0 ~dst:1 ~due:4 ();
+  Alcotest.(check (option int)) "min due" (Some 4)
+    (Network.next_due net ~dst:1)
+
+let test_reliability () =
+  (* every message sent is eventually received exactly once *)
+  let net = Network.create ~p:4 in
+  let sent = ref [] in
+  let rng = Rng.create 77 in
+  for i = 0 to 99 do
+    let src = Rng.int rng 4 in
+    let dst = (src + 1 + Rng.int rng 3) mod 4 in
+    let due = Rng.int rng 20 in
+    Network.send net ~src ~dst ~due i;
+    sent := (dst, i) :: !sent
+  done;
+  let received = ref [] in
+  for dst = 0 to 3 do
+    List.iter
+      (fun (_, payload) -> received := (dst, payload) :: !received)
+      (Network.receive net ~dst ~now:100)
+  done;
+  check_int "no losses" 100 (List.length !received);
+  let norm l = List.sort compare l in
+  check "exactly the sent messages" true (norm !sent = norm !received);
+  check_int "nothing pending" 0 (Network.pending net)
+
+let suite =
+  [
+    Alcotest.test_case "send/receive with due time" `Quick test_send_receive;
+    Alcotest.test_case "self-send rejected" `Quick test_no_self_send;
+    Alcotest.test_case "pid range checked" `Quick test_pid_range;
+    Alcotest.test_case "message counting" `Quick test_message_counting;
+    Alcotest.test_case "backlog delivered in order" `Quick
+      test_delayed_processor_receives_backlog;
+    Alcotest.test_case "per-destination isolation" `Quick
+      test_per_destination_isolation;
+    Alcotest.test_case "next_due" `Quick test_next_due;
+    Alcotest.test_case "reliable: no loss, no duplication" `Quick
+      test_reliability;
+  ]

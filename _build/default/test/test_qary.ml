@@ -1,0 +1,75 @@
+open Doall_perms
+
+let check_int = Alcotest.(check int)
+let check = Alcotest.(check bool)
+
+let test_digits_example () =
+  (* 11 in base 3 = 102 -> little-endian [2; 0; 1] *)
+  Alcotest.(check (array int)) "11 base 3" [| 2; 0; 1 |]
+    (Qary.digits ~q:3 ~width:3 11)
+
+let test_digits_padding () =
+  Alcotest.(check (array int)) "padded" [| 1; 0; 0; 0 |]
+    (Qary.digits ~q:2 ~width:4 1)
+
+let test_digits_truncation () =
+  (* width smaller than needed keeps only low digits *)
+  Alcotest.(check (array int)) "truncated" [| 1; 1 |]
+    (Qary.digits ~q:2 ~width:2 7)
+
+let test_roundtrip () =
+  for q = 2 to 5 do
+    for v = 0 to 200 do
+      let w = Qary.width_for ~q v in
+      check_int "roundtrip" v (Qary.of_digits ~q (Qary.digits ~q ~width:w v))
+    done
+  done
+
+let test_digit_accessor () =
+  check_int "digit 0 of 11 base 3" 2 (Qary.digit ~q:3 11 0);
+  check_int "digit 1 of 11 base 3" 0 (Qary.digit ~q:3 11 1);
+  check_int "digit 2 of 11 base 3" 1 (Qary.digit ~q:3 11 2);
+  check_int "digit 5 of 11 base 3" 0 (Qary.digit ~q:3 11 5)
+
+let test_width_for () =
+  check_int "width for 0 base 2" 1 (Qary.width_for ~q:2 0);
+  check_int "width for 1 base 2" 1 (Qary.width_for ~q:2 1);
+  check_int "width for 2 base 2" 2 (Qary.width_for ~q:2 2);
+  check_int "width for 8 base 2" 4 (Qary.width_for ~q:2 8);
+  check_int "width for 80 base 3" 4 (Qary.width_for ~q:3 80);
+  check_int "width for 81 base 3" 5 (Qary.width_for ~q:3 81)
+
+let test_validation () =
+  Alcotest.check_raises "q=1" (Invalid_argument "Qary: q must be >= 2")
+    (fun () -> ignore (Qary.digits ~q:1 ~width:2 0));
+  Alcotest.check_raises "bad digit"
+    (Invalid_argument "Qary.of_digits: bad digit") (fun () ->
+      ignore (Qary.of_digits ~q:2 [| 2 |]))
+
+let prop_digits_in_range =
+  QCheck2.Test.make ~name:"digits always in [0, q)" ~count:300
+    QCheck2.Gen.(pair (int_range 2 9) (int_range 0 100000))
+    (fun (q, v) ->
+      let w = Qary.width_for ~q v in
+      Array.for_all (fun dgt -> dgt >= 0 && dgt < q) (Qary.digits ~q ~width:w v))
+
+let prop_digit_matches_digits =
+  QCheck2.Test.make ~name:"digit agrees with digits array" ~count:300
+    QCheck2.Gen.(pair (int_range 2 9) (int_range 0 100000))
+    (fun (q, v) ->
+      let w = Qary.width_for ~q v in
+      let a = Qary.digits ~q ~width:w v in
+      List.for_all (fun m -> a.(m) = Qary.digit ~q v m) (List.init w Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "digits example" `Quick test_digits_example;
+    Alcotest.test_case "digits padding" `Quick test_digits_padding;
+    Alcotest.test_case "digits truncation" `Quick test_digits_truncation;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "digit accessor" `Quick test_digit_accessor;
+    Alcotest.test_case "width_for" `Quick test_width_for;
+    Alcotest.test_case "validation" `Quick test_validation;
+    QCheck_alcotest.to_alcotest prop_digits_in_range;
+    QCheck_alcotest.to_alcotest prop_digit_matches_digits;
+  ]

@@ -1,0 +1,82 @@
+open Doall_sim
+open Doall_core
+open Doall_adversary
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let run_with adv ~algo ~seed ~p ~t ~d =
+  let cfg = Config.make ~seed ~p ~t () in
+  Engine.run_packed algo cfg ~d ~adversary:adv ()
+
+let key (m : Metrics.t) =
+  (m.Metrics.work, m.Metrics.messages, m.Metrics.sigma, m.Metrics.executions)
+
+let test_record_then_replay_identical () =
+  (* Record a stateful lower-bound adversary's decisions; replaying the
+     tape against a fresh identical run reproduces the metrics exactly,
+     without the expensive clone lookaheads. *)
+  let algo () = Algo_pa.make_ran1 () in
+  let recording, tape = Recorder.wrap (Lb_randomized.create ()) in
+  let m1 = run_with recording ~algo:(algo ()) ~seed:5 ~p:8 ~t:32 ~d:4 in
+  check "original completed" true m1.Metrics.completed;
+  check "tape non-empty" true (Recorder.decisions tape > 0);
+  let m2 = run_with (Recorder.replay tape) ~algo:(algo ()) ~seed:5 ~p:8 ~t:32 ~d:4 in
+  check "replay identical" true (key m1 = key m2)
+
+let test_replay_twice () =
+  let recording, tape = Recorder.wrap Adversary.uniform_delay in
+  let m1 = run_with recording ~algo:(Algo_pa.make_det ()) ~seed:2 ~p:6 ~t:24 ~d:5 in
+  let m2 =
+    run_with (Recorder.replay tape) ~algo:(Algo_pa.make_det ()) ~seed:2 ~p:6
+      ~t:24 ~d:5
+  in
+  let m3 =
+    run_with (Recorder.replay tape) ~algo:(Algo_pa.make_det ()) ~seed:2 ~p:6
+      ~t:24 ~d:5
+  in
+  check "first replay" true (key m1 = key m2);
+  check "second replay (fresh cursor)" true (key m1 = key m3)
+
+let test_recording_is_transparent () =
+  (* Wrapping must not change the run being recorded. *)
+  let plain = run_with Adversary.max_delay ~algo:(Algo_da.make ~q:3 ()) ~seed:1 ~p:7 ~t:21 ~d:6 in
+  let recording, _ = Recorder.wrap Adversary.max_delay in
+  let taped = run_with recording ~algo:(Algo_da.make ~q:3 ()) ~seed:1 ~p:7 ~t:21 ~d:6 in
+  check "transparent" true (key plain = key taped)
+
+let test_replay_with_crashes () =
+  let adv =
+    Crash.into ~name:"c" (Crash.at_time ~time:2 ~pids:[ 1; 3 ])
+  in
+  let recording, tape = Recorder.wrap adv in
+  let m1 = run_with recording ~algo:(Algo_pa.make_det ()) ~seed:3 ~p:5 ~t:20 ~d:2 in
+  let m2 =
+    run_with (Recorder.replay tape) ~algo:(Algo_pa.make_det ()) ~seed:3 ~p:5
+      ~t:20 ~d:2
+  in
+  check_int "same crash count" m1.Metrics.crashed m2.Metrics.crashed;
+  check "metrics identical" true (key m1 = key m2)
+
+let test_tape_exhaustion_is_safe () =
+  (* Replaying a short tape against a longer run falls back to fair
+     behaviour and still completes. *)
+  let recording, tape = Recorder.wrap Adversary.fair in
+  let _ = run_with recording ~algo:(Algo_pa.make_det ()) ~seed:1 ~p:3 ~t:6 ~d:1 in
+  let m =
+    run_with (Recorder.replay tape) ~algo:(Algo_pa.make_det ()) ~seed:9 ~p:8
+      ~t:64 ~d:4
+  in
+  check "exhausted tape still completes" true m.Metrics.completed
+
+let suite =
+  [
+    Alcotest.test_case "record then replay (stateful adversary)" `Quick
+      test_record_then_replay_identical;
+    Alcotest.test_case "one tape, many replays" `Quick test_replay_twice;
+    Alcotest.test_case "recording is transparent" `Quick
+      test_recording_is_transparent;
+    Alcotest.test_case "replay with crashes" `Quick test_replay_with_crashes;
+    Alcotest.test_case "tape exhaustion is safe" `Quick
+      test_tape_exhaustion_is_safe;
+  ]

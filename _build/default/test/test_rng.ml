@@ -1,0 +1,157 @@
+open Doall_sim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  check "different seeds give different streams" true !differs
+
+let test_copy_equal_stream () =
+  let a = Rng.create 7 in
+  ignore (Rng.bits64 a);
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "copy replays" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_split_decorrelates () =
+  let a = Rng.create 9 in
+  let child = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 child then incr same
+  done;
+  check "split stream differs from parent" true (!same < 4)
+
+let test_int_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    check "in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_bad_bound () =
+  let rng = Rng.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_covers_all () =
+  let rng = Rng.create 4 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Rng.int rng 5) <- true
+  done;
+  check "all values hit" true (Array.for_all Fun.id seen)
+
+let test_int_roughly_uniform () =
+  let rng = Rng.create 5 in
+  let counts = Array.make 4 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 4 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      check "within 5% of expectation" true
+        (abs (c - (n / 4)) < n / 20))
+    counts
+
+let test_float_range () =
+  let rng = Rng.create 6 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    check "float in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_bool_balance () =
+  let rng = Rng.create 8 in
+  let trues = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Rng.bool rng then incr trues
+  done;
+  check "roughly balanced" true (abs (!trues - (n / 2)) < n / 20)
+
+let test_permutation_valid () =
+  let rng = Rng.create 11 in
+  for n = 1 to 30 do
+    let p = Rng.permutation rng n in
+    let sorted = Array.copy p in
+    Array.sort compare sorted;
+    Alcotest.(check (array int)) "is a permutation"
+      (Array.init n Fun.id) sorted
+  done
+
+let test_shuffle_preserves_multiset () =
+  let rng = Rng.create 12 in
+  let a = [| 5; 5; 1; 2; 9; 1 |] in
+  let b = Array.copy a in
+  Rng.shuffle rng b;
+  Array.sort compare a;
+  let b' = Array.copy b in
+  Array.sort compare b';
+  Alcotest.(check (array int)) "same multiset" a b'
+
+let test_sample_without_replacement () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 50 do
+    let s = Rng.sample_without_replacement rng 5 12 in
+    check_int "size" 5 (Array.length s);
+    let tbl = Hashtbl.create 8 in
+    Array.iter
+      (fun v ->
+        check "in range" true (v >= 0 && v < 12);
+        check "distinct" false (Hashtbl.mem tbl v);
+        Hashtbl.add tbl v ())
+      s
+  done
+
+let test_sample_full () =
+  let rng = Rng.create 14 in
+  let s = Rng.sample_without_replacement rng 6 6 in
+  let s = Array.copy s in
+  Array.sort compare s;
+  Alcotest.(check (array int)) "full sample is a permutation"
+    (Array.init 6 Fun.id) s
+
+let test_pick_member () =
+  let rng = Rng.create 15 in
+  let a = [| 3; 1; 4 |] in
+  for _ = 1 to 40 do
+    let v = Rng.pick rng a in
+    check "member" true (Array.exists (( = ) v) a)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "determinism from seed" `Quick test_determinism;
+    Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+    Alcotest.test_case "copy replays stream" `Quick test_copy_equal_stream;
+    Alcotest.test_case "split decorrelates" `Quick test_split_decorrelates;
+    Alcotest.test_case "int in range" `Quick test_int_range;
+    Alcotest.test_case "int rejects bad bound" `Quick test_int_bad_bound;
+    Alcotest.test_case "int covers all values" `Quick test_int_covers_all;
+    Alcotest.test_case "int roughly uniform" `Quick test_int_roughly_uniform;
+    Alcotest.test_case "float in range" `Quick test_float_range;
+    Alcotest.test_case "bool balanced" `Quick test_bool_balance;
+    Alcotest.test_case "permutation is valid" `Quick test_permutation_valid;
+    Alcotest.test_case "shuffle preserves multiset" `Quick
+      test_shuffle_preserves_multiset;
+    Alcotest.test_case "sample without replacement" `Quick
+      test_sample_without_replacement;
+    Alcotest.test_case "sample k=n" `Quick test_sample_full;
+    Alcotest.test_case "pick returns a member" `Quick test_pick_member;
+  ]

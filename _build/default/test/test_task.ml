@@ -1,0 +1,96 @@
+open Doall_core
+open Doall_sim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_p_ge_t () =
+  let part = Task.make ~p:10 ~t:6 in
+  check_int "n = t" 6 part.Task.n;
+  for j = 0 to 5 do
+    check_int "singleton jobs" 1 (Task.job_size part j);
+    Alcotest.(check (list int)) "job j = task j" [ j ]
+      (Task.tasks_of_job part j)
+  done
+
+let test_p_lt_t () =
+  let part = Task.make ~p:4 ~t:10 in
+  check_int "n = p" 4 part.Task.n;
+  let sizes = List.init 4 (Task.job_size part) in
+  check_int "total tasks" 10 (List.fold_left ( + ) 0 sizes);
+  List.iter
+    (fun s -> check "sizes within ceil(t/p)" true (s = 2 || s = 3))
+    sizes
+
+let test_job_of_task_consistent () =
+  let part = Task.make ~p:3 ~t:11 in
+  for z = 0 to 10 do
+    let j = Task.job_of_task part z in
+    check "membership" true (List.mem z (Task.tasks_of_job part j))
+  done
+
+let test_contiguous_cover () =
+  let part = Task.make ~p:5 ~t:17 in
+  let all = List.concat_map (Task.tasks_of_job part) (List.init part.Task.n Fun.id) in
+  Alcotest.(check (list int)) "jobs partition tasks" (List.init 17 Fun.id)
+    (List.sort compare all)
+
+let test_job_done_and_next_member () =
+  let part = Task.make ~p:2 ~t:5 in
+  (* job 0 = {0,1,2}, job 1 = {3,4} *)
+  let know = Bitset.create 5 in
+  check "initially not done" false (Task.job_done part know 0);
+  Alcotest.(check (option int)) "first member" (Some 0)
+    (Task.next_member part know 0);
+  Bitset.set know 0;
+  Bitset.set know 2;
+  Alcotest.(check (option int)) "skips known members" (Some 1)
+    (Task.next_member part know 0);
+  Bitset.set know 1;
+  check "now done" true (Task.job_done part know 0);
+  Alcotest.(check (option int)) "no member left" None
+    (Task.next_member part know 0);
+  check "job 1 unaffected" false (Task.job_done part know 1)
+
+let test_jobs_done_count () =
+  let part = Task.make ~p:3 ~t:6 in
+  let know = Bitset.of_list 6 [ 0; 1; 4; 5 ] in
+  (* jobs: {0,1} {2,3} {4,5} *)
+  check_int "two jobs done" 2 (Task.jobs_done_count part know)
+
+let test_validation () =
+  Alcotest.check_raises "bad p"
+    (Invalid_argument "Task.make: p and t must be positive") (fun () ->
+      ignore (Task.make ~p:0 ~t:3));
+  let part = Task.make ~p:2 ~t:4 in
+  Alcotest.check_raises "bad job" (Invalid_argument "Task: job id out of range")
+    (fun () -> ignore (Task.job_size part 2))
+
+let prop_partition_invariants =
+  QCheck2.Test.make ~name:"partition invariants" ~count:300
+    QCheck2.Gen.(pair (int_range 1 40) (int_range 1 200))
+    (fun (p, t) ->
+      let part = Task.make ~p ~t in
+      let n = part.Task.n in
+      let ceil_tp = (t + p - 1) / p in
+      n = min p t
+      && List.for_all
+           (fun j ->
+             let s = Task.job_size part j in
+             s >= 1 && s <= max 1 ceil_tp)
+           (List.init n Fun.id)
+      && List.fold_left ( + ) 0 (List.init n (Task.job_size part)) = t)
+
+let suite =
+  [
+    Alcotest.test_case "p >= t: singleton jobs" `Quick test_p_ge_t;
+    Alcotest.test_case "p < t: balanced jobs" `Quick test_p_lt_t;
+    Alcotest.test_case "job_of_task consistent" `Quick
+      test_job_of_task_consistent;
+    Alcotest.test_case "jobs cover all tasks" `Quick test_contiguous_cover;
+    Alcotest.test_case "job_done / next_member" `Quick
+      test_job_done_and_next_member;
+    Alcotest.test_case "jobs_done_count" `Quick test_jobs_done_count;
+    Alcotest.test_case "validation" `Quick test_validation;
+    QCheck_alcotest.to_alcotest prop_partition_invariants;
+  ]

@@ -1,0 +1,55 @@
+open Doall_sim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_record_order () =
+  let tr = Trace.create () in
+  Trace.add tr (Trace.Step { time = 0; pid = 1 });
+  Trace.add tr (Trace.Perform { time = 1; pid = 0; task = 3; fresh = true });
+  check_int "length" 2 (Trace.length tr);
+  match Trace.events tr with
+  | [ Trace.Step { time = 0; pid = 1 }; Trace.Perform { task = 3; _ } ] -> ()
+  | _ -> Alcotest.fail "wrong order"
+
+let test_time_of () =
+  check_int "step" 5 (Trace.time_of (Trace.Step { time = 5; pid = 0 }));
+  check_int "note" 9 (Trace.time_of (Trace.Note { time = 9; text = "x" }))
+
+let test_timeline_symbols () =
+  let tr = Trace.create () in
+  Trace.add tr (Trace.Perform { time = 0; pid = 0; task = 1; fresh = true });
+  Trace.add tr (Trace.Delayed { time = 0; pid = 1 });
+  Trace.add tr (Trace.Step { time = 1; pid = 0 });
+  Trace.add tr (Trace.Halt { time = 2; pid = 0 });
+  Trace.add tr (Trace.Crash { time = 1; pid = 1 });
+  let rows = Trace.timeline tr ~p:2 ~until:4 in
+  check_int "two rows" 2 (Array.length rows);
+  check "perform mark" true (rows.(0).[0] = '#');
+  check "step mark" true (rows.(0).[1] = 'o');
+  check "halt mark" true (rows.(0).[2] = 'H');
+  check "post-halt fill" true (rows.(0).[3] = 'h');
+  check "delayed mark" true (rows.(1).[0] = '.');
+  check "crash mark" true (rows.(1).[1] = 'X');
+  check "post-crash fill" true (rows.(1).[2] = 'x')
+
+let test_timeline_clips () =
+  let tr = Trace.create () in
+  Trace.add tr (Trace.Perform { time = 99; pid = 0; task = 0; fresh = false });
+  let rows = Trace.timeline tr ~p:1 ~until:10 in
+  check "out-of-window event ignored" true (rows.(0) = String.make 10 ' ')
+
+let test_pp_timeline_output () =
+  let tr = Trace.create () in
+  Trace.add tr (Trace.Step { time = 0; pid = 0 });
+  let s = Format.asprintf "%a" Trace.pp_timeline (tr, 1, 2) in
+  check "labelled row" true (String.length s > 0 && s.[0] = 'p')
+
+let suite =
+  [
+    Alcotest.test_case "record order" `Quick test_record_order;
+    Alcotest.test_case "time_of" `Quick test_time_of;
+    Alcotest.test_case "timeline symbols" `Quick test_timeline_symbols;
+    Alcotest.test_case "timeline clips window" `Quick test_timeline_clips;
+    Alcotest.test_case "pp_timeline" `Quick test_pp_timeline_output;
+  ]
