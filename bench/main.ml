@@ -1024,6 +1024,122 @@ let e18 () =
   emit tbl2
 
 (* ------------------------------------------------------------------ *)
+(* perf: the wall-clock grid behind BENCH_N.json (see docs/PERFORMANCE.md).
+
+   Scenarios are broadcast-heavy on purpose: PA-family algorithms
+   broadcast on every performing step, so these runs live in the
+   delivery + union_into hot path the calendar ring and the word-packed
+   bitsets rearchitected. *)
+
+let perf_scenarios ~quick =
+  if quick then
+    [ ("paran1", "max-delay", 64, 512, 8); ("da-q4", "max-delay", 64, 512, 8) ]
+  else
+    [
+      ("paran1", "max-delay", 256, 4096, 16);
+      ("padet", "max-delay", 256, 4096, 16);
+      ("da-q4", "max-delay", 256, 4096, 16);
+      ("paran1", "uniform-delay", 128, 2048, 32);
+    ]
+
+(* Wall-clock of the identical scenarios (seed 42) measured on the
+   pre-rewrite engine — binary heap delivery, byte-packed bitsets,
+   O(p)-scan scheduling — at commit b5fef56, in this repo's reference
+   container, 2026-08-06. The perf run reports speedups against these. *)
+let perf_seed_baseline =
+  [
+    ("paran1/max-delay/p256/t4096/d16", 17.351);
+    ("padet/max-delay/p256/t4096/d16", 16.220);
+    ("da-q4/max-delay/p256/t4096/d16", 0.159);
+    ("paran1/uniform-delay/p128/t2048/d32", 1.843);
+  ]
+
+let perf ~quick ~out () =
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf "perf: wall-clock grid%s (seed 42)"
+           (if quick then " [--quick]" else ""))
+      ~columns:[ "scenario"; "W"; "M"; "wall_s"; "seed_s"; "speedup" ]
+  in
+  let results =
+    List.map
+      (fun (algo, adv, p, t, d) ->
+        let key = Printf.sprintf "%s/%s/p%d/t%d/d%d" algo adv p t d in
+        let t0 = Unix.gettimeofday () in
+        let m = (Runner.run ~seed:42 ~algo ~adv ~p ~t ~d ()).Runner.metrics in
+        let wall = Unix.gettimeofday () -. t0 in
+        let seed_s = List.assoc_opt key perf_seed_baseline in
+        Table.add_row tbl
+          [
+            key;
+            Table.cell_int m.Metrics.work;
+            Table.cell_int m.Metrics.messages;
+            Printf.sprintf "%.3f" wall;
+            (match seed_s with Some s -> Printf.sprintf "%.3f" s | None -> "-");
+            (match seed_s with
+             | Some s -> Printf.sprintf "%.1fx" (s /. wall)
+             | None -> "-");
+          ];
+        (key, algo, adv, p, t, d, m, wall, seed_s))
+      (perf_scenarios ~quick)
+  in
+  Table.add_note tbl
+    "seed_s: same scenario on the pre-calendar-ring/pre-word-packed engine \
+     (commit b5fef56); wall-clock is machine-dependent, the W/M columns are \
+     not (golden-pinned)";
+  emit tbl;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"bench\": 1,\n";
+  Buffer.add_string buf
+    "  \"description\": \"wall-clock grid over broadcast-heavy (algo x \
+     adversary x p,t,d) scenarios; first point of the perf trajectory\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string buf "  \"baseline\": {\n";
+  Buffer.add_string buf "    \"commit\": \"b5fef56\",\n";
+  Buffer.add_string buf
+    "    \"engine\": \"binary-heap delivery, byte-packed bitsets, O(p) \
+     tick scans\",\n";
+  Buffer.add_string buf "    \"measured\": \"2026-08-06\",\n";
+  Buffer.add_string buf "    \"wall_s\": {\n";
+  List.iteri
+    (fun i (key, s) ->
+      Buffer.add_string buf
+        (Printf.sprintf "      %S: %.3f%s\n" key s
+           (if i = List.length perf_seed_baseline - 1 then "" else ",")))
+    perf_seed_baseline;
+  Buffer.add_string buf "    }\n  },\n";
+  Buffer.add_string buf "  \"results\": [\n";
+  List.iteri
+    (fun i (key, algo, adv, p, t, d, m, wall, seed_s) ->
+      Buffer.add_string buf "    {\n";
+      Buffer.add_string buf (Printf.sprintf "      \"scenario\": %S,\n" key);
+      Buffer.add_string buf (Printf.sprintf "      \"algo\": %S,\n" algo);
+      Buffer.add_string buf (Printf.sprintf "      \"adversary\": %S,\n" adv);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"p\": %d, \"t\": %d, \"d\": %d,\n" p t d);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"work\": %d, \"messages\": %d, \"sigma\": %d,\n"
+           m.Metrics.work m.Metrics.messages m.Metrics.sigma);
+      Buffer.add_string buf (Printf.sprintf "      \"wall_s\": %.3f" wall);
+      (match seed_s with
+       | Some s ->
+         Buffer.add_string buf
+           (Printf.sprintf ",\n      \"seed_wall_s\": %.3f,\n" s);
+         Buffer.add_string buf
+           (Printf.sprintf "      \"speedup_vs_seed\": %.2f\n" (s /. wall))
+       | None -> Buffer.add_string buf "\n");
+      Buffer.add_string buf
+        (if i = List.length results - 1 then "    }\n" else "    },\n"))
+    results;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks.                                           *)
 
 let micro () =
@@ -1039,6 +1155,57 @@ let micro () =
       (Staged.stage (fun () ->
            let dst = Bitset.copy a in
            Bitset.union_into ~dst b))
+  in
+  let bitset_union_absorbed =
+    (* The engine's steady state: knowledge is monotone, so most incoming
+       sets are already contained in the destination and union_into is a
+       read-only sweep. *)
+    let dst = Bitset.create 4096 and src = Bitset.create 4096 in
+    for i = 0 to 4095 do
+      if i mod 2 = 0 then Bitset.set dst i;
+      if i mod 4 = 0 then Bitset.set src i
+    done;
+    Bitset.union_into ~dst src;
+    Test.make ~name:"bitset-union-absorbed-4096"
+      (Staged.stage (fun () -> Bitset.union_into ~dst src))
+  in
+  let bitset_first_missing =
+    let b = Bitset.create 4096 in
+    for i = 0 to 4000 do
+      Bitset.set b i
+    done;
+    Test.make ~name:"bitset-first-missing-4096"
+      (Staged.stage (fun () -> ignore (Bitset.first_missing b)))
+  in
+  let bitset_iter_set =
+    let b = Bitset.create 4096 in
+    for i = 0 to 4095 do
+      if i mod 7 = 0 then Bitset.set b i
+    done;
+    Test.make ~name:"bitset-iter-set-4096"
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           Bitset.iter_set b (fun i -> acc := !acc + i);
+           ignore !acc))
+  in
+  (* Steady-state delivery: one "tick" = 63 sends into the future plus a
+     drain of what is due now, mimicking a broadcast to p-1 = 63 peers.
+     The ring and heap variants run identical traffic. *)
+  let equeue_bench name q =
+    let now = ref 0 in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           incr now;
+           for i = 0 to 62 do
+             Event_queue.add q ~time:(!now + 1 + (i mod 8)) i
+           done;
+           Event_queue.drain_due q ~now:!now (fun _ -> ())))
+  in
+  let equeue_ring =
+    equeue_bench "equeue-ring-tick-63send-d8" (Event_queue.create ~horizon:8 ())
+  in
+  let equeue_heap =
+    equeue_bench "equeue-heap-tick-63send-d8" (Event_queue.create ())
   in
   let dlrm =
     let rng = Rng.create 1 in
@@ -1083,7 +1250,20 @@ let micro () =
   in
   let tests =
     Test.make_grouped ~name:"doall"
-      [ bitset_union; dlrm; cont; tree_marks; engine_run; engine_da; rng_bench ]
+      [
+        bitset_union;
+        bitset_union_absorbed;
+        bitset_first_missing;
+        bitset_iter_set;
+        equeue_ring;
+        equeue_heap;
+        dlrm;
+        cont;
+        tree_marks;
+        engine_run;
+        engine_da;
+        rng_bench;
+      ]
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -1139,15 +1319,23 @@ let experiments =
 let () =
   Doall_quorum.Register.install ();
   let args = List.tl (Array.to_list Sys.argv) in
-  let rec strip_csv acc = function
+  let quick = ref false in
+  let perf_out = ref "BENCH_1.json" in
+  let rec strip_flags acc = function
     | "--csv" :: dir :: rest ->
       (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
       csv_dir := Some dir;
-      strip_csv acc rest
-    | x :: rest -> strip_csv (x :: acc) rest
+      strip_flags acc rest
+    | "--quick" :: rest ->
+      quick := true;
+      strip_flags acc rest
+    | "--out" :: path :: rest ->
+      perf_out := path;
+      strip_flags acc rest
+    | x :: rest -> strip_flags (x :: acc) rest
     | [] -> List.rev acc
   in
-  let args = strip_csv [] args in
+  let args = strip_flags [] args in
   let requested =
     match args with
     | [] | [ "all" ] -> List.map fst experiments
@@ -1156,13 +1344,14 @@ let () =
   List.iter
     (fun id ->
       if id = "micro" then micro ()
+      else if id = "perf" then perf ~quick:!quick ~out:!perf_out ()
       else
         match List.assoc_opt id experiments with
         | Some run ->
           run ();
           print_newline ()
         | None ->
-          Printf.eprintf "unknown experiment %S (known: %s, micro)\n" id
+          Printf.eprintf "unknown experiment %S (known: %s, micro, perf)\n" id
             (String.concat ", " (List.map fst experiments));
           exit 2)
     requested

@@ -1,28 +1,36 @@
-type t = { words : Bytes.t; n : int; mutable count : int }
+(* Word-packed bitsets: 63 bits per native int. See bitset.mli. *)
 
-let bytes_for n = (n + 7) / 8
+type t = { words : int array; n : int; mutable count : int }
+
+let bits_per_word = 63
+
+let () =
+  if Sys.int_size < bits_per_word then
+    failwith "Bitset: requires 63-bit native ints (a 64-bit platform)"
+
+let words_for n = (n + bits_per_word - 1) / bits_per_word
 
 let create n =
   if n < 0 then invalid_arg "Bitset.create: negative capacity";
-  { words = Bytes.make (bytes_for n) '\000'; n; count = 0 }
+  { words = Array.make (words_for n) 0; n; count = 0 }
 
 let length b = b.n
-let copy b = { words = Bytes.copy b.words; n = b.n; count = b.count }
+let copy b = { words = Array.copy b.words; n = b.n; count = b.count }
 
 let check b i =
   if i < 0 || i >= b.n then invalid_arg "Bitset: index out of range"
 
 let mem b i =
   check b i;
-  Char.code (Bytes.unsafe_get b.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+  Array.unsafe_get b.words (i / 63) land (1 lsl (i mod 63)) <> 0
 
 let set b i =
   check b i;
-  let byte = i lsr 3 in
-  let bit = 1 lsl (i land 7) in
-  let v = Char.code (Bytes.unsafe_get b.words byte) in
+  let w = i / 63 in
+  let bit = 1 lsl (i mod 63) in
+  let v = Array.unsafe_get b.words w in
   if v land bit = 0 then begin
-    Bytes.unsafe_set b.words byte (Char.unsafe_chr (v lor bit));
+    Array.unsafe_set b.words w (v lor bit);
     b.count <- b.count + 1
   end
 
@@ -30,76 +38,118 @@ let cardinal b = b.count
 let is_full b = b.count = b.n
 let is_empty b = b.count = 0
 
-let popcount_byte =
-  let tbl = Array.init 256 (fun v ->
-      let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + (v land 1)) in
-      go v 0)
-  in
-  fun c -> tbl.(Char.code c)
+(* Kernighan popcount: O(set bits). [union_into] only ever runs it over
+   newly-acquired bits, and knowledge is monotone, so the total popcount
+   work over a whole run is O(n) per destination set. *)
+let popcount w =
+  let c = ref 0 and v = ref w in
+  while !v <> 0 do
+    v := !v land (!v - 1);
+    incr c
+  done;
+  !c
 
 let union_into ~dst src =
   if dst.n <> src.n then invalid_arg "Bitset.union_into: capacity mismatch";
-  let len = Bytes.length dst.words in
-  let count = ref 0 in
-  for i = 0 to len - 1 do
-    let v =
-      Char.code (Bytes.unsafe_get dst.words i)
-      lor Char.code (Bytes.unsafe_get src.words i)
-    in
-    Bytes.unsafe_set dst.words i (Char.unsafe_chr v);
-    count := !count + popcount_byte (Char.unsafe_chr v)
-  done;
-  dst.count <- !count
+  if src.count = 0 || dst.count = dst.n then ()
+  else begin
+    let dw = dst.words and sw = src.words in
+    let added = ref 0 in
+    for i = 0 to Array.length dw - 1 do
+      let a = Array.unsafe_get dw i in
+      let v = a lor Array.unsafe_get sw i in
+      if v <> a then begin
+        Array.unsafe_set dw i v;
+        added := !added + popcount (v lxor a)
+      end
+    done;
+    dst.count <- dst.count + !added
+  end
 
 let subset a b =
   if a.n <> b.n then invalid_arg "Bitset.subset: capacity mismatch";
-  let len = Bytes.length a.words in
+  let len = Array.length a.words in
   let rec go i =
     i >= len
-    || (let va = Char.code (Bytes.unsafe_get a.words i) in
-        let vb = Char.code (Bytes.unsafe_get b.words i) in
-        va land lnot vb = 0 && go (i + 1))
+    || (Array.unsafe_get a.words i land lnot (Array.unsafe_get b.words i) = 0
+        && go (i + 1))
   in
   go 0
 
-let equal a b = a.n = b.n && Bytes.equal a.words b.words
+let equal a b =
+  a.n = b.n && a.count = b.count
+  &&
+  let rec go i =
+    i < 0
+    || (Array.unsafe_get a.words i = Array.unsafe_get b.words i && go (i - 1))
+  in
+  go (Array.length a.words - 1)
+
+(* Mask selecting the valid bits of the word at [base] (the last word of a
+   capacity not divisible by 63 is partial). All 63 bits of an int set is
+   [-1]; [1 lsl 63] would be out of range. *)
+let valid_mask b base =
+  let valid = b.n - base in
+  if valid >= bits_per_word then -1 else (1 lsl valid) - 1
 
 let iter_set b f =
-  for i = 0 to b.n - 1 do
-    if mem b i then f i
+  let nw = Array.length b.words in
+  for wi = 0 to nw - 1 do
+    let w = ref (Array.unsafe_get b.words wi) in
+    if !w <> 0 then begin
+      let i = ref (wi * bits_per_word) in
+      while !w <> 0 do
+        if !w land 1 = 1 then f !i;
+        incr i;
+        w := !w lsr 1
+      done
+    end
   done
 
 let iter_missing b f =
-  for i = 0 to b.n - 1 do
-    if not (mem b i) then f i
+  let nw = Array.length b.words in
+  for wi = 0 to nw - 1 do
+    let base = wi * bits_per_word in
+    let w = ref (lnot (Array.unsafe_get b.words wi) land valid_mask b base) in
+    if !w <> 0 then begin
+      let i = ref base in
+      while !w <> 0 do
+        if !w land 1 = 1 then f !i;
+        incr i;
+        w := !w lsr 1
+      done
+    end
   done
 
 let to_list b =
   let acc = ref [] in
-  for i = b.n - 1 downto 0 do
-    if mem b i then acc := i :: !acc
-  done;
-  !acc
+  iter_set b (fun i -> acc := i :: !acc);
+  List.rev !acc
 
 let missing b =
   let acc = ref [] in
-  for i = b.n - 1 downto 0 do
-    if not (mem b i) then acc := i :: !acc
-  done;
-  !acc
+  iter_missing b (fun i -> acc := i :: !acc);
+  List.rev !acc
 
 let first_missing b =
-  if is_full b then None
+  if b.count = b.n then None
   else begin
+    let nw = Array.length b.words in
     let res = ref None in
-    (try
-       for i = 0 to b.n - 1 do
-         if not (mem b i) then begin
-           res := Some i;
-           raise Exit
-         end
-       done
-     with Exit -> ());
+    let wi = ref 0 in
+    while !res = None && !wi < nw do
+      let base = !wi * bits_per_word in
+      let m = lnot (Array.unsafe_get b.words !wi) land valid_mask b base in
+      if m <> 0 then begin
+        let i = ref base and v = ref m in
+        while !v land 1 = 0 do
+          incr i;
+          v := !v lsr 1
+        done;
+        res := Some !i
+      end;
+      incr wi
+    done;
     !res
   end
 

@@ -1,10 +1,14 @@
-(** Fixed-capacity mutable bitsets.
+(** Fixed-capacity mutable bitsets, packed 63 bits per native int word.
 
     The workhorse data structure of the whole library: Do-All knowledge
     ("which tasks do I know to be done?"), progress-tree node markings, and
     the engine's global completion ledger are all bitsets. Operations the
     algorithms perform on every simulated step ([set], [mem], [union_into],
-    [cardinal]) are O(1) or O(words) with no allocation. *)
+    [cardinal]) are O(1) or O(words) with no allocation. [union_into] is
+    the per-message receive cost of every algorithm here, so it works a
+    word at a time and counts newly-acquired bits only — monotonicity
+    makes that O(n) total over a whole run per destination set.
+    Iteration skips all-zero (or all-one) words. *)
 
 type t
 

@@ -15,6 +15,14 @@ module Make (A : Algorithm.S) = struct
     global_done : Bitset.t;
     alive : bool array;
     halted : bool array;
+    (* The eligible (alive and not halted) pids as a sorted intrusive
+       doubly-linked list over [0..p], with index [p] as the sentinel.
+       Eligibility is monotone decreasing, so unlinking is the only
+       mutation and ascending pid order is preserved for free. This is
+       what lets a tick cost O(eligible) instead of O(p). *)
+    next_eligible : int array;
+    prev_eligible : int array;
+    done_seen : bool array; (* pids counted in [done_alive] *)
     per_proc_work : int array;
     trace : Trace.t;
     mutable oracle : Adversary.oracle option;
@@ -23,6 +31,9 @@ module Make (A : Algorithm.S) = struct
     mutable executions : int;
     mutable finished : bool;
     mutable sigma : int;
+    mutable live : int;
+    mutable halted_count : int;
+    mutable done_alive : int; (* live pids observed with [A.is_done] *)
   }
 
   (* Lookahead used by the omniscient adversary: clone [pid]'s state and
@@ -61,10 +72,13 @@ module Make (A : Algorithm.S) = struct
         d;
         adv = adversary;
         states = Array.init p (fun pid -> A.init cfg ~pid);
-        net = Network.create ~p;
+        net = Network.create ~horizon:d ~p ();
         global_done = Bitset.create cfg.Config.t;
         alive = Array.make p true;
         halted = Array.make p false;
+        next_eligible = Array.init (p + 1) (fun i -> if i = p then 0 else i + 1);
+        prev_eligible = Array.init (p + 1) (fun i -> if i = 0 then p else i - 1);
+        done_seen = Array.make p false;
         per_proc_work = Array.make p 0;
         trace = Trace.create ();
         oracle = None;
@@ -73,6 +87,9 @@ module Make (A : Algorithm.S) = struct
         executions = 0;
         finished = false;
         sigma = -1;
+        live = p;
+        halted_count = 0;
+        done_alive = 0;
       }
     in
     let plan_step_cap = 16 * (cfg.Config.t + 8) in
@@ -111,39 +128,31 @@ module Make (A : Algorithm.S) = struct
   let oracle eng =
     match eng.oracle with Some o -> o | None -> assert false
 
-  let informed eng =
-    let p = eng.cfg.Config.p in
-    let rec go pid =
-      pid < p
-      && ((eng.alive.(pid) && A.is_done eng.states.(pid)) || go (pid + 1))
-    in
-    go 0
-
-  let live_count eng =
-    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 eng.alive
+  let unlink_eligible eng pid =
+    let nxt = eng.next_eligible.(pid) and prv = eng.prev_eligible.(pid) in
+    eng.next_eligible.(prv) <- nxt;
+    eng.prev_eligible.(nxt) <- prv
 
   let apply_crashes eng pids =
     List.iter
       (fun pid ->
-        if
-          pid >= 0
-          && pid < eng.cfg.Config.p
-          && eng.alive.(pid)
-          && live_count eng > 1
+        if pid >= 0 && pid < eng.cfg.Config.p && eng.alive.(pid) && eng.live > 1
         then begin
           eng.alive.(pid) <- false;
+          eng.live <- eng.live - 1;
+          if not eng.halted.(pid) then unlink_eligible eng pid;
+          if eng.done_seen.(pid) then eng.done_alive <- eng.done_alive - 1;
           if eng.cfg.Config.record_trace then
             Trace.add eng.trace (Trace.Crash { time = eng.time; pid })
         end)
       pids
 
-  let eligible eng pid = eng.alive.(pid) && not eng.halted.(pid)
-
   let step_processor eng pid =
     (* Deliver due messages, then take the local step. *)
-    let msgs = Network.receive eng.net ~dst:pid ~now:eng.time in
-    List.iter (fun (src, msg) -> A.receive eng.states.(pid) ~src msg) msgs;
-    let r = A.step eng.states.(pid) in
+    let st = eng.states.(pid) in
+    Network.receive_iter eng.net ~dst:pid ~now:eng.time (fun src msg ->
+        A.receive st ~src msg);
+    let r = A.step st in
     eng.work <- eng.work + 1;
     eng.per_proc_work.(pid) <- eng.per_proc_work.(pid) + 1;
     (match r.Algorithm.performed with
@@ -177,10 +186,19 @@ module Make (A : Algorithm.S) = struct
       (fun (dst, msg) -> if dst <> pid then send_one dst msg)
       r.Algorithm.unicasts;
     if r.Algorithm.halt then begin
-      assert (A.is_done eng.states.(pid));
+      assert (A.is_done st);
       eng.halted.(pid) <- true;
+      eng.halted_count <- eng.halted_count + 1;
+      unlink_eligible eng pid;
       if eng.cfg.Config.record_trace then
         Trace.add eng.trace (Trace.Halt { time = eng.time; pid })
+    end;
+    (* Track "informed" incrementally: a pid's knowledge only changes
+       during its own step (receive + step above), and is monotone, so
+       checking here is exhaustive and counts each pid once. *)
+    if (not (Array.unsafe_get eng.done_seen pid)) && A.is_done st then begin
+      eng.done_seen.(pid) <- true;
+      eng.done_alive <- eng.done_alive + 1
     end
 
   let tick eng =
@@ -191,25 +209,25 @@ module Make (A : Algorithm.S) = struct
     if Array.length active <> p then
       invalid_arg "Adversary.schedule: wrong array length";
     (* Time units are defined by the fastest processor: force someone to
-       step if the adversary tried to delay every eligible processor. *)
-    let any_eligible_active = ref false in
-    for pid = 0 to p - 1 do
-      if active.(pid) && eligible eng pid then any_eligible_active := true
+       step if the adversary tried to delay every eligible processor.
+       The eligible list is ascending, so its head is the lowest pid. *)
+    let sentinel = p in
+    let head = eng.next_eligible.(sentinel) in
+    let rec any_active pid =
+      pid <> sentinel
+      && (Array.unsafe_get active pid || any_active eng.next_eligible.(pid))
+    in
+    if head <> sentinel && not (any_active head) then active.(head) <- true;
+    let pid = ref head in
+    while !pid <> sentinel do
+      (* capture the successor first: a step may halt (unlink) [!pid] *)
+      let next = eng.next_eligible.(!pid) in
+      if active.(!pid) then step_processor eng !pid
+      else if eng.cfg.Config.record_trace then
+        Trace.add eng.trace (Trace.Delayed { time = eng.time; pid = !pid });
+      pid := next
     done;
-    if not !any_eligible_active then begin
-      let forced = ref (-1) in
-      for pid = p - 1 downto 0 do
-        if eligible eng pid then forced := pid
-      done;
-      if !forced >= 0 then active.(!forced) <- true
-    end;
-    for pid = 0 to p - 1 do
-      if eligible eng pid then
-        if active.(pid) then step_processor eng pid
-        else if eng.cfg.Config.record_trace then
-          Trace.add eng.trace (Trace.Delayed { time = eng.time; pid })
-    done;
-    if Bitset.is_full eng.global_done && informed eng then begin
+    if eng.done_alive > 0 && Bitset.is_full eng.global_done then begin
       eng.finished <- true;
       eng.sigma <- eng.time
     end;
@@ -234,10 +252,8 @@ module Make (A : Algorithm.S) = struct
       sigma = (if eng.finished then eng.sigma else eng.time);
       executions = eng.executions;
       completed = eng.finished;
-      halted =
-        Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 eng.halted;
-      crashed =
-        Array.fold_left (fun acc b -> if b then acc else acc + 1) 0 eng.alive;
+      halted = eng.halted_count;
+      crashed = eng.cfg.Config.p - eng.live;
       per_proc_work = Array.copy eng.per_proc_work;
     }
 

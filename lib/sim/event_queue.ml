@@ -1,32 +1,137 @@
-type 'a event = { time : int; seq : int; payload : 'a }
+(* Two backends behind one interface (see event_queue.mli):
 
-type 'a t = { heap : 'a event Heap.t; mutable next_seq : int }
+   - a binary heap ordered by (time, seq) for the general, unbounded
+     case, and the determinism oracle the ring is tested against;
+   - a calendar ring of [horizon + 1] bucket FIFOs for the bounded-delay
+     fast path: O(1) add, O(1) amortized per delivered event.
+
+   Ring correctness rests on one invariant: appends to the same bucket
+   arrive in non-decreasing due-time order. Two events in bucket [b] have
+   due times differing by a multiple of [horizon + 1]; under the stated
+   add contract (an event lands at most [horizon] ahead of the instant it
+   is added, instants never decreasing), a later add can be earlier-due by
+   at most [horizon], so equal buckets force equal-or-later dues. Each
+   bucket is therefore a FIFO sorted by due time, and within one due time
+   by insertion — exactly the heap's (time, seq) order. *)
+
+type 'a hev = { time : int; seq : int; payload : 'a }
+
+type 'a t =
+  | Heap_q of { heap : 'a hev Heap.t; mutable next_seq : int }
+  | Ring_q of 'a ring
+
+and 'a ring = {
+  slots : (int * 'a) Queue.t array; (* (due, payload); slot = due mod len *)
+  mutable cursor : int; (* every event due <= cursor has been delivered *)
+  mutable count : int;
+}
 
 let cmp a b =
-  let c = compare a.time b.time in
-  if c <> 0 then c else compare a.seq b.seq
+  let c = Stdlib.compare (a.time : int) b.time in
+  if c <> 0 then c else Stdlib.compare (a.seq : int) b.seq
 
-let create () = { heap = Heap.create ~cmp; next_seq = 0 }
+let create ?horizon () =
+  match horizon with
+  | None -> Heap_q { heap = Heap.create ~cmp; next_seq = 0 }
+  | Some h ->
+    if h < 1 then invalid_arg "Event_queue.create: horizon must be >= 1";
+    Ring_q
+      {
+        slots = Array.init (h + 1) (fun _ -> Queue.create ());
+        cursor = -1;
+        count = 0;
+      }
 
 let add q ~time payload =
-  Heap.add q.heap { time; seq = q.next_seq; payload };
-  q.next_seq <- q.next_seq + 1
+  match q with
+  | Heap_q h ->
+    Heap.add h.heap { time; seq = h.next_seq; payload };
+    h.next_seq <- h.next_seq + 1
+  | Ring_q r ->
+    if time <= r.cursor then
+      invalid_arg "Event_queue.add: ring event at or before the cursor";
+    Queue.push (time, payload) r.slots.(time mod Array.length r.slots);
+    r.count <- r.count + 1
 
 let pop_due q ~now =
-  match Heap.peek q.heap with
-  | Some ev when ev.time <= now ->
-    ignore (Heap.pop q.heap);
-    Some ev.payload
-  | Some _ | None -> None
+  match q with
+  | Heap_q h -> (
+    match Heap.peek h.heap with
+    | Some ev when ev.time <= now ->
+      ignore (Heap.pop h.heap);
+      Some ev.payload
+    | Some _ | None -> None)
+  | Ring_q r ->
+    if r.count = 0 then begin
+      if now > r.cursor then r.cursor <- now;
+      None
+    end
+    else begin
+      let s = Array.length r.slots in
+      let res = ref None in
+      while !res = None && r.cursor < now do
+        let t = r.cursor + 1 in
+        let slot = Array.unsafe_get r.slots (t mod s) in
+        match Queue.peek_opt slot with
+        | Some (due, payload) when due = t ->
+          ignore (Queue.pop slot);
+          r.count <- r.count - 1;
+          (* leave [cursor] at [t - 1]: more events due at [t] may remain *)
+          res := Some payload
+        | _ -> r.cursor <- t
+      done;
+      !res
+    end
+
+let drain_due q ~now f =
+  match q with
+  | Heap_q h ->
+    let continue = ref true in
+    while !continue do
+      match Heap.peek h.heap with
+      | Some ev when ev.time <= now ->
+        ignore (Heap.pop h.heap);
+        f ev.payload
+      | Some _ | None -> continue := false
+    done
+  | Ring_q r ->
+    let s = Array.length r.slots in
+    while r.cursor < now do
+      if r.count = 0 then r.cursor <- now
+      else begin
+        let t = r.cursor + 1 in
+        let slot = Array.unsafe_get r.slots (t mod s) in
+        let continue = ref true in
+        while !continue do
+          match Queue.peek_opt slot with
+          | Some (due, payload) when due = t ->
+            ignore (Queue.pop slot);
+            r.count <- r.count - 1;
+            f payload
+          | _ -> continue := false
+        done;
+        r.cursor <- t
+      end
+    done
 
 let pop_all_due q ~now =
-  let rec go acc =
-    match pop_due q ~now with
-    | Some x -> go (x :: acc)
-    | None -> List.rev acc
-  in
-  go []
+  let acc = ref [] in
+  drain_due q ~now (fun x -> acc := x :: !acc);
+  List.rev !acc
 
-let next_time q = Option.map (fun ev -> ev.time) (Heap.peek q.heap)
-let size q = Heap.size q.heap
-let is_empty q = Heap.is_empty q.heap
+let next_time = function
+  | Heap_q h -> Option.map (fun ev -> ev.time) (Heap.peek h.heap)
+  | Ring_q r ->
+    if r.count = 0 then None
+    else
+      (* each bucket FIFO is due-sorted, so its front is its minimum *)
+      Array.fold_left
+        (fun acc slot ->
+          match (Queue.peek_opt slot, acc) with
+          | Some (t, _), Some u -> Some (min t u)
+          | Some (t, _), None -> Some t
+          | None, _ -> acc)
+        None r.slots
+
+let size = function Heap_q h -> Heap.size h.heap | Ring_q r -> r.count
+let is_empty q = size q = 0

@@ -1,17 +1,37 @@
 (** Time-ordered event queues with stable tie-breaking.
 
-    A thin layer over {!Heap} that orders events by due time, breaking ties
-    by insertion order. Determinism of the whole simulation depends on this
-    tie-break: two messages delivered at the same instant are always
-    processed in the order they were sent. *)
+    Orders events by due time, breaking ties by insertion order.
+    Determinism of the whole simulation depends on this tie-break: two
+    messages delivered at the same instant are always processed in the
+    order they were sent.
+
+    Two interchangeable backends produce identical delivery orders:
+
+    - {b Heap} (default): a binary heap over (time, seq). O(log n) per
+      add/pop, no restrictions on scheduling times. Also the oracle the
+      ring is property-tested against.
+    - {b Calendar ring} ([create ~horizon:h]): [h + 1] bucket FIFOs
+      indexed by [time mod (h + 1)]. O(1) add, O(1) amortized per
+      delivered event — the fast path for the engine, whose delay clamp
+      guarantees every message lands within [d] of the instant it was
+      sent. *)
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?horizon:int -> unit -> 'a t
+(** [create ()] is a heap-backed queue; [create ~horizon:h ()] ([h >= 1])
+    is a calendar ring. A ring queue requires of its caller (the engine's
+    bounded-delay discipline): each [add ~time] satisfies
+    [now < time <= now + h], where [now] is the caller's clock at the
+    moment of the add — non-decreasing, and never behind a previous
+    poll. Adds at or before the last poll raise [Invalid_argument];
+    violating the upper bound is not detectable locally and forfeits
+    delivery-order guarantees. *)
 
 val add : 'a t -> time:int -> 'a -> unit
-(** Schedule an event at absolute time [time]. Times may be scheduled in
-    any order, including in the past (delivered on the next poll). *)
+(** Schedule an event at absolute time [time]. Heap backend: times may be
+    scheduled in any order, including in the past (delivered on the next
+    poll). Ring backend: see {!create} for the contract. *)
 
 val pop_due : 'a t -> now:int -> 'a option
 (** Removes and returns the earliest event with due time [<= now], or
@@ -20,8 +40,15 @@ val pop_due : 'a t -> now:int -> 'a option
 val pop_all_due : 'a t -> now:int -> 'a list
 (** All due events, in delivery order. *)
 
+val drain_due : 'a t -> now:int -> ('a -> unit) -> unit
+(** [drain_due q ~now f] applies [f] to every due event, in delivery
+    order, without materializing a list — the engine's per-step receive
+    path. Events the callback adds for strictly later times are not
+    delivered by this drain. *)
+
 val next_time : 'a t -> int option
-(** Due time of the earliest pending event. *)
+(** Due time of the earliest pending event. O(1) on the heap backend,
+    O(horizon) on the ring. *)
 
 val size : 'a t -> int
 val is_empty : 'a t -> bool

@@ -4,9 +4,9 @@ type 'msg t = {
   mutable sent : int;
 }
 
-let create ~p =
+let create ?horizon ~p () =
   if p <= 0 then invalid_arg "Network.create: need at least one processor";
-  { p; queues = Array.init p (fun _ -> Event_queue.create ()); sent = 0 }
+  { p; queues = Array.init p (fun _ -> Event_queue.create ?horizon ()); sent = 0 }
 
 let p t = t.p
 
@@ -23,6 +23,10 @@ let send t ~src ~dst ~due msg =
 let receive t ~dst ~now =
   check_pid t dst "Network.receive";
   Event_queue.pop_all_due t.queues.(dst) ~now
+
+let receive_iter t ~dst ~now f =
+  check_pid t dst "Network.receive_iter";
+  Event_queue.drain_due t.queues.(dst) ~now (fun (src, msg) -> f src msg)
 
 let pending t =
   Array.fold_left (fun acc q -> acc + Event_queue.size q) 0 t.queues

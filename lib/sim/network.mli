@@ -13,8 +13,12 @@
 
 type 'msg t
 
-val create : p:int -> 'msg t
-(** A network connecting processors [0..p-1]. *)
+val create : ?horizon:int -> p:int -> unit -> 'msg t
+(** A network connecting processors [0..p-1]. With [~horizon:h], each
+    per-destination queue is a calendar ring (see {!Event_queue.create}):
+    O(1) sends instead of O(log pending), valid when every send's due
+    time is at most [h] ahead of the sender's (non-decreasing) clock —
+    the engine's delay clamp guarantees exactly this with [h = d]. *)
 
 val p : 'msg t -> int
 
@@ -26,6 +30,11 @@ val send : 'msg t -> src:int -> dst:int -> due:int -> 'msg -> unit
 val receive : 'msg t -> dst:int -> now:int -> (int * 'msg) list
 (** [(sender, message)] pairs due at or before [now], removed from the
     queue, in (due time, send order) order. *)
+
+val receive_iter : 'msg t -> dst:int -> now:int -> (int -> 'msg -> unit) -> unit
+(** [receive_iter t ~dst ~now f] calls [f sender message] for each due
+    message, in the same order as {!receive}, without materializing the
+    intermediate list — the engine's per-step delivery path. *)
 
 val pending : 'msg t -> int
 (** Messages queued but not yet received. *)

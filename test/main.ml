@@ -27,6 +27,7 @@ let () =
       ("workload", Test_workload.suite);
       ("sharedmem", Test_sharedmem.suite);
       ("golden", Test_golden.suite);
+      ("golden-grid", Test_golden_grid.suite);
       ("docs", Test_docs.suite);
       ("fuzz", Test_fuzz.suite);
       ("integration", Test_integration.suite);

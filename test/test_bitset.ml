@@ -107,12 +107,48 @@ let test_iterators () =
   Alcotest.(check (list int)) "iter_missing" [ 0; 2; 3; 5 ]
     (List.rev !miss_acc)
 
+let test_word_boundaries () =
+  (* the packing is 63 bits per word: exercise 62/63/64 and a capacity
+     spanning several words *)
+  let b = Bitset.create 200 in
+  List.iter (Bitset.set b) [ 0; 62; 63; 64; 125; 126; 189; 199 ];
+  Alcotest.(check (list int)) "set bits across words"
+    [ 0; 62; 63; 64; 125; 126; 189; 199 ]
+    (Bitset.to_list b);
+  check_int "cardinal" 8 (Bitset.cardinal b);
+  check "62" true (Bitset.mem b 62);
+  check "63 (word boundary)" true (Bitset.mem b 63);
+  check "65 clear" false (Bitset.mem b 65);
+  let c = Bitset.copy b in
+  Bitset.union_into ~dst:c b;
+  check "union idempotent" true (Bitset.equal b c)
+
+let test_full_multiword () =
+  let n = 130 in
+  let b = Bitset.create n in
+  for i = 0 to n - 1 do
+    Bitset.set b i
+  done;
+  check "full across words" true (Bitset.is_full b);
+  Alcotest.(check (option int)) "no missing" None (Bitset.first_missing b);
+  Alcotest.(check (list int)) "missing empty" [] (Bitset.missing b)
+
+let test_first_missing_scans_words () =
+  let n = 190 in
+  let b = Bitset.create n in
+  for i = 0 to n - 1 do
+    if i <> 150 then Bitset.set b i
+  done;
+  Alcotest.(check (option int)) "deep first missing" (Some 150)
+    (Bitset.first_missing b);
+  Alcotest.(check (list int)) "deep missing list" [ 150 ] (Bitset.missing b)
+
 (* qcheck properties *)
 
 let indices_gen =
   QCheck2.Gen.(
-    let* n = int_range 1 64 in
-    let* is = list_size (int_range 0 40) (int_range 0 (n - 1)) in
+    let* n = int_range 1 200 in
+    let* is = list_size (int_range 0 60) (int_range 0 (n - 1)) in
     return (n, is))
 
 let prop_cardinal_matches =
@@ -124,7 +160,7 @@ let prop_cardinal_matches =
 let prop_union_commutes_with_membership =
   QCheck2.Test.make ~name:"union membership = or of memberships" ~count:200
     QCheck2.Gen.(
-      let* n = int_range 1 48 in
+      let* n = int_range 1 180 in
       let* xs = list_size (int_range 0 30) (int_range 0 (n - 1)) in
       let* ys = list_size (int_range 0 30) (int_range 0 (n - 1)) in
       return (n, xs, ys))
@@ -139,7 +175,7 @@ let prop_union_commutes_with_membership =
 let prop_subset_iff_union_noop =
   QCheck2.Test.make ~name:"subset a b iff union b a = b" ~count:200
     QCheck2.Gen.(
-      let* n = int_range 1 48 in
+      let* n = int_range 1 180 in
       let* xs = list_size (int_range 0 30) (int_range 0 (n - 1)) in
       let* ys = list_size (int_range 0 30) (int_range 0 (n - 1)) in
       return (n, xs, ys))
@@ -165,6 +201,10 @@ let suite =
     Alcotest.test_case "missing" `Quick test_missing;
     Alcotest.test_case "first_missing on full" `Quick test_first_missing_full;
     Alcotest.test_case "iterators" `Quick test_iterators;
+    Alcotest.test_case "63-bit word boundaries" `Quick test_word_boundaries;
+    Alcotest.test_case "full across words" `Quick test_full_multiword;
+    Alcotest.test_case "first_missing scans words" `Quick
+      test_first_missing_scans_words;
     QCheck_alcotest.to_alcotest prop_cardinal_matches;
     QCheck_alcotest.to_alcotest prop_union_commutes_with_membership;
     QCheck_alcotest.to_alcotest prop_subset_iff_union_noop;

@@ -49,6 +49,122 @@ let test_next_time () =
   Event_queue.add q ~time:4 "y";
   Alcotest.(check (option int)) "min" (Some 4) (Event_queue.next_time q)
 
+(* --- calendar-ring backend -------------------------------------------- *)
+
+let test_ring_basic () =
+  let q = Event_queue.create ~horizon:4 () in
+  Event_queue.add q ~time:2 "b";
+  Event_queue.add q ~time:1 "a";
+  Event_queue.add q ~time:2 "c";
+  Alcotest.(check int) "size" 3 (Event_queue.size q);
+  Alcotest.(check (option int)) "next" (Some 1) (Event_queue.next_time q);
+  Alcotest.(check (list string)) "due order with FIFO ties" [ "a"; "b"; "c" ]
+    (Event_queue.pop_all_due q ~now:2);
+  check "drained" true (Event_queue.is_empty q)
+
+let test_ring_wraparound_epochs () =
+  (* A consumer that polls rarely: dues wrap the ring several times and
+     land in the same buckets across epochs. *)
+  let q = Event_queue.create ~horizon:2 () in
+  let sent = ref [] in
+  let now = ref 0 in
+  for i = 0 to 19 do
+    (* sender clock advances every iteration; due = clock + 1 or 2 *)
+    let due = i + 1 + (i mod 2) in
+    Event_queue.add q ~time:due i;
+    sent := (due, i) :: !sent;
+    (* consumer only polls every 7th instant *)
+    if i mod 7 = 6 then begin
+      now := i;
+      let got = Event_queue.pop_all_due q ~now:!now in
+      let expected =
+        List.filter (fun (due, _) -> due <= !now) (List.rev !sent)
+        |> List.sort compare |> List.map snd
+      in
+      sent := List.filter (fun (due, _) -> due > !now) !sent;
+      Alcotest.(check (list int)) "epoch batch in (due, seq) order" expected
+        got
+    end
+  done;
+  let rest = Event_queue.pop_all_due q ~now:100 in
+  Alcotest.(check int) "rest delivered" (List.length !sent)
+    (List.length rest)
+
+let test_ring_rejects_past_add () =
+  let q = Event_queue.create ~horizon:3 () in
+  ignore (Event_queue.pop_all_due q ~now:5);
+  Alcotest.check_raises "add at cursor"
+    (Invalid_argument "Event_queue.add: ring event at or before the cursor")
+    (fun () -> Event_queue.add q ~time:5 "late")
+
+let test_ring_pop_due_single () =
+  let q = Event_queue.create ~horizon:4 () in
+  Event_queue.add q ~time:1 "a";
+  Event_queue.add q ~time:1 "b";
+  Event_queue.add q ~time:3 "c";
+  Alcotest.(check (option string)) "first" (Some "a")
+    (Event_queue.pop_due q ~now:3);
+  Alcotest.(check (option string)) "tie partner not skipped" (Some "b")
+    (Event_queue.pop_due q ~now:3);
+  Alcotest.(check (option string)) "then later" (Some "c")
+    (Event_queue.pop_due q ~now:3);
+  Alcotest.(check (option string)) "empty" None (Event_queue.pop_due q ~now:3)
+
+let test_drain_matches_pop_all () =
+  List.iter
+    (fun horizon ->
+      let mk () = Event_queue.create ?horizon () in
+      let q1 = mk () and q2 = mk () in
+      List.iter
+        (fun (t, x) ->
+          Event_queue.add q1 ~time:t x;
+          Event_queue.add q2 ~time:t x)
+        [ (1, "a"); (3, "b"); (1, "c"); (2, "d"); (5, "e") ];
+      let drained = ref [] in
+      Event_queue.drain_due q1 ~now:3 (fun x -> drained := x :: !drained);
+      Alcotest.(check (list string)) "drain = pop_all"
+        (Event_queue.pop_all_due q2 ~now:3)
+        (List.rev !drained))
+    [ None; Some 5 ]
+
+(* The determinism keystone: on engine-shaped traffic (every add due
+   within (clock, clock + horizon], clock non-decreasing), the ring and
+   the heap deliver identical payload sequences. The heap is the oracle. *)
+let prop_ring_matches_heap =
+  QCheck2.Test.make ~name:"calendar ring = heap oracle (delivery order)"
+    ~count:500
+    QCheck2.Gen.(
+      let* horizon = int_range 1 9 in
+      let* ops =
+        list_size (int_range 1 80)
+          (triple (int_range 1 9) (int_range 0 4) (int_range 1 3))
+      in
+      return (horizon, ops))
+    (fun (horizon, ops) ->
+      let ring = Event_queue.create ~horizon () in
+      let heap = Event_queue.create () in
+      let now = ref 0 in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (delta, advance, burst) ->
+          for _ = 1 to burst do
+            incr seq;
+            let due = !now + min horizon delta in
+            Event_queue.add ring ~time:due !seq;
+            Event_queue.add heap ~time:due !seq
+          done;
+          now := !now + advance;
+          if Event_queue.pop_all_due ring ~now:!now
+             <> Event_queue.pop_all_due heap ~now:!now
+          then ok := false)
+        ops;
+      let final = !now + horizon + 1 in
+      !ok
+      && Event_queue.pop_all_due ring ~now:final
+         = Event_queue.pop_all_due heap ~now:final
+      && Event_queue.is_empty ring)
+
 let prop_pop_all_due_partitions =
   QCheck2.Test.make ~name:"pop_all_due returns exactly the due items"
     ~count:200
@@ -86,6 +202,16 @@ let suite =
     Alcotest.test_case "FIFO tie-break" `Quick test_tie_break_fifo;
     Alcotest.test_case "past events delivered" `Quick test_past_events;
     Alcotest.test_case "next_time" `Quick test_next_time;
+    Alcotest.test_case "ring: basics" `Quick test_ring_basic;
+    Alcotest.test_case "ring: wrap-around epochs" `Quick
+      test_ring_wraparound_epochs;
+    Alcotest.test_case "ring: past add rejected" `Quick
+      test_ring_rejects_past_add;
+    Alcotest.test_case "ring: pop_due does not skip ties" `Quick
+      test_ring_pop_due_single;
+    Alcotest.test_case "drain_due = pop_all_due (both backends)" `Quick
+      test_drain_matches_pop_all;
+    QCheck_alcotest.to_alcotest prop_ring_matches_heap;
     QCheck_alcotest.to_alcotest prop_pop_all_due_partitions;
     QCheck_alcotest.to_alcotest prop_delivery_order_monotone;
   ]

@@ -4,7 +4,7 @@ let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
 let test_send_receive () =
-  let net = Network.create ~p:3 in
+  let net = Network.create ~p:3 () in
   Network.send net ~src:0 ~dst:1 ~due:5 "hello";
   Alcotest.(check (list (pair int string))) "not yet" []
     (Network.receive net ~dst:1 ~now:4);
@@ -14,18 +14,18 @@ let test_send_receive () =
     (Network.receive net ~dst:1 ~now:5)
 
 let test_no_self_send () =
-  let net = Network.create ~p:2 in
+  let net = Network.create ~p:2 () in
   Alcotest.check_raises "self send" (Invalid_argument "Network.send: self-send")
     (fun () -> Network.send net ~src:1 ~dst:1 ~due:1 ())
 
 let test_pid_range () =
-  let net = Network.create ~p:2 in
+  let net = Network.create ~p:2 () in
   Alcotest.check_raises "bad dst"
     (Invalid_argument "Network.send dst: pid out of range") (fun () ->
       Network.send net ~src:0 ~dst:5 ~due:1 ())
 
 let test_message_counting () =
-  let net = Network.create ~p:4 in
+  let net = Network.create ~p:4 () in
   (* simulate one multicast from 0: three point-to-point sends *)
   List.iter (fun dst -> Network.send net ~src:0 ~dst ~due:2 "m") [ 1; 2; 3 ];
   check_int "sent counts p2p" 3 (Network.sent net);
@@ -37,7 +37,7 @@ let test_message_counting () =
 let test_delayed_processor_receives_backlog () =
   (* A processor that did not step for a while gets everything at once,
      in order. *)
-  let net = Network.create ~p:2 in
+  let net = Network.create ~p:2 () in
   Network.send net ~src:0 ~dst:1 ~due:1 "a";
   Network.send net ~src:0 ~dst:1 ~due:3 "b";
   Network.send net ~src:0 ~dst:1 ~due:2 "c";
@@ -46,7 +46,7 @@ let test_delayed_processor_receives_backlog () =
     (Network.receive net ~dst:1 ~now:10)
 
 let test_per_destination_isolation () =
-  let net = Network.create ~p:3 in
+  let net = Network.create ~p:3 () in
   Network.send net ~src:0 ~dst:1 ~due:1 "for1";
   Network.send net ~src:0 ~dst:2 ~due:1 "for2";
   Alcotest.(check (list (pair int string))) "only own messages"
@@ -55,7 +55,7 @@ let test_per_destination_isolation () =
   check_int "pending_for dst 1" 1 (Network.pending_for net ~dst:1)
 
 let test_next_due () =
-  let net = Network.create ~p:2 in
+  let net = Network.create ~p:2 () in
   Alcotest.(check (option int)) "none" None (Network.next_due net ~dst:1);
   Network.send net ~src:0 ~dst:1 ~due:9 ();
   Network.send net ~src:0 ~dst:1 ~due:4 ();
@@ -64,7 +64,7 @@ let test_next_due () =
 
 let test_reliability () =
   (* every message sent is eventually received exactly once *)
-  let net = Network.create ~p:4 in
+  let net = Network.create ~p:4 () in
   let sent = ref [] in
   let rng = Rng.create 77 in
   for i = 0 to 99 do
@@ -85,9 +85,47 @@ let test_reliability () =
   check "exactly the sent messages" true (norm !sent = norm !received);
   check_int "nothing pending" 0 (Network.pending net)
 
+let test_receive_iter_matches_receive () =
+  let mk () =
+    let net = Network.create ~horizon:4 ~p:3 () in
+    Network.send net ~src:0 ~dst:1 ~due:1 "a";
+    Network.send net ~src:2 ~dst:1 ~due:3 "b";
+    Network.send net ~src:0 ~dst:1 ~due:1 "c";
+    net
+  in
+  let by_list = Network.receive (mk ()) ~dst:1 ~now:3 in
+  let by_iter = ref [] in
+  Network.receive_iter (mk ()) ~dst:1 ~now:3 (fun src msg ->
+      by_iter := (src, msg) :: !by_iter);
+  Alcotest.(check (list (pair int string)))
+    "same messages, same order" by_list
+    (List.rev !by_iter)
+
+let test_bounded_horizon_network () =
+  (* engine-shaped traffic through a ring-backed network *)
+  let net = Network.create ~horizon:3 ~p:2 () in
+  let received = ref [] in
+  for now = 0 to 30 do
+    Network.receive_iter net ~dst:1 ~now (fun _src msg ->
+        received := msg :: !received);
+    if now < 20 then Network.send net ~src:0 ~dst:1 ~due:(now + 1 + (now mod 3)) now
+  done;
+  check_int "all delivered" 20 (List.length !received);
+  check_int "nothing pending" 0 (Network.pending net);
+  (* deliveries ordered by (due, send order): payload k is due at
+     k + 1 + (k mod 3), so received order is sorted by that key *)
+  let key k = ((k + 1 + (k mod 3)) * 100) + k in
+  let got = List.rev !received in
+  let sorted = List.sort (fun a b -> compare (key a) (key b)) got in
+  check "due order respected" true (got = sorted)
+
 let suite =
   [
     Alcotest.test_case "send/receive with due time" `Quick test_send_receive;
+    Alcotest.test_case "receive_iter = receive" `Quick
+      test_receive_iter_matches_receive;
+    Alcotest.test_case "bounded-horizon (ring) network" `Quick
+      test_bounded_horizon_network;
     Alcotest.test_case "self-send rejected" `Quick test_no_self_send;
     Alcotest.test_case "pid range checked" `Quick test_pid_range;
     Alcotest.test_case "message counting" `Quick test_message_counting;
