@@ -11,11 +11,26 @@ open Doall_analysis
 
 let wf = float_of_int
 
+(* Parallelism for the grid-shaped experiments (seed averaging, e17's
+   bound-fitting sweep, the perf grid). One pool for the whole process,
+   sized by --jobs; Pool.create ~jobs:1 degrades to inline execution. *)
+let jobs = ref (Pool.default_jobs ())
+let pool_ref : Pool.t option ref = ref None
+
+let shared_pool () =
+  match !pool_ref with
+  | Some pool -> pool
+  | None ->
+    let pool = Pool.create ~jobs:!jobs () in
+    pool_ref := Some pool;
+    pool
+
 let work_of ?(seed = 1) ~algo ~adv ~p ~t ~d () =
   (Runner.run ~seed ~algo ~adv ~p ~t ~d ()).Runner.metrics
 
 let mean_work ?(seeds = [ 1; 2; 3; 4; 5 ]) ~algo ~adv ~p ~t ~d () =
-  fst (Runner.average_work ~seeds ~algo ~adv ~p ~t ~d ())
+  fst
+    (Runner.average_work ~seeds ~pool:(shared_pool ()) ~algo ~adv ~p ~t ~d ())
 
 (* Run a packed algorithm (for variants not in the registry). *)
 let run_packed ?(seed = 1) algo ~adv ~p ~t ~d =
@@ -911,6 +926,37 @@ let e16 () =
 let e17 () =
   let p = 48 and t = 48 in
   let ds = [ 1; 2; 4; 8; 16; 32; 48 ] in
+  let algos = [ "trivial"; "da-q4"; "paran1"; "padet"; "coord" ] in
+  (* The whole sweep as one flat grid fanned across the shared pool:
+     deterministic algorithms contribute one cell (seed 1) per delay,
+     randomized ones the mean of seeds 1-3. *)
+  let seeds_for algo =
+    if (Runner.find_algo algo).Runner.deterministic then [ 1 ] else [ 1; 2; 3 ]
+  in
+  let specs =
+    List.concat_map
+      (fun algo ->
+        List.concat_map
+          (fun d ->
+            List.map
+              (fun seed ->
+                Runner.spec ~seed ~algo ~adv:"max-delay" ~p ~t ~d ())
+              (seeds_for algo))
+          ds)
+      algos
+  in
+  let results = Runner.run_grid ~pool:(shared_pool ()) specs in
+  let works : (string * int, float list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter2
+    (fun (s : Runner.run_spec) (r : Runner.result) ->
+      let key = (s.Runner.spec_algo, s.Runner.d) in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt works key) in
+      Hashtbl.replace works key (wf r.Runner.metrics.Metrics.work :: prev))
+    specs results;
+  let mean_at algo d =
+    let ws = Hashtbl.find works (algo, d) in
+    List.fold_left ( +. ) 0.0 ws /. wf (List.length ws)
+  in
   let tbl =
     Table.create
       ~title:
@@ -922,17 +968,7 @@ let e17 () =
   in
   List.iter
     (fun algo ->
-      let points =
-        List.map
-          (fun d ->
-            let w =
-              if (Runner.find_algo algo).Runner.deterministic then
-                wf (work_of ~algo ~adv:"max-delay" ~p ~t ~d ()).Metrics.work
-              else mean_work ~seeds:[ 1; 2; 3 ] ~algo ~adv:"max-delay" ~p ~t ~d ()
-            in
-            (d, w))
-          ds
-      in
+      let points = List.map (fun d -> (d, mean_at algo d)) ds in
       match Fit.rank ~p ~t points with
       | first :: second :: _ ->
         Table.add_row tbl
@@ -944,7 +980,7 @@ let e17 () =
             Table.cell_float ~decimals:3 second.Fit.r2;
           ]
       | _ -> assert false)
-    [ "trivial"; "da-q4"; "paran1"; "padet"; "coord" ];
+    algos;
   Table.add_note tbl
     "expected: trivial flat (constant shapes fit exactly); DA/PA best \
      explained by the delay-sensitive shapes at r2 ~0.99 (lower bound / \
@@ -1054,6 +1090,27 @@ let perf_seed_baseline =
     ("paran1/uniform-delay/p128/t2048/d32", 1.843);
   ]
 
+(* The end-to-end parallel grid: every scenario x seeds 1..6, fanned
+   across Runner.run_grid at several domain counts. Per-run metrics are
+   asserted byte-identical across all arms (the pool's determinism
+   contract); the wall-clock ratio against the jobs=1 arm is the
+   speedup row of BENCH_2.json. *)
+let grid_scenarios ~quick =
+  if quick then
+    [ ("paran1", "max-delay", 64, 512, 8); ("da-q4", "max-delay", 64, 512, 8) ]
+  else
+    [
+      ("paran1", "max-delay", 128, 2048, 16);
+      ("padet", "max-delay", 128, 2048, 16);
+      ("da-q4", "max-delay", 256, 4096, 16);
+      ("paran1", "uniform-delay", 128, 2048, 32);
+    ]
+
+let grid_seeds ~quick = if quick then [ 1; 2; 3 ] else [ 1; 2; 3; 4; 5; 6 ]
+
+let same_metrics (a : Runner.result list) (b : Runner.result list) =
+  List.length a = List.length b && List.for_all2 (fun x y -> x = y) a b
+
 let perf ~quick ~out () =
   let tbl =
     Table.create
@@ -1089,12 +1146,95 @@ let perf ~quick ~out () =
      (commit b5fef56); wall-clock is machine-dependent, the W/M columns are \
      not (golden-pinned)";
   emit tbl;
+  (* -- the parallel grid -- *)
+  let specs =
+    List.concat_map
+      (fun (algo, adv, p, t, d) ->
+        List.map
+          (fun seed -> Runner.spec ~seed ~algo ~adv ~p ~t ~d ())
+          (grid_seeds ~quick))
+      (grid_scenarios ~quick)
+  in
+  let arms =
+    List.sort_uniq compare
+      (if quick then [ 1; !jobs ] else [ 1; 2; 4; !jobs ])
+  in
+  (* Best-of-N wall clock per arm, with the major heap compacted before
+     each round: the container's co-tenant load and leftover major-heap
+     state from the scenario table above otherwise dominate the
+     between-arm differences. Metrics are taken from the last round and
+     asserted identical across arms below. *)
+  let rounds = if quick then 1 else 2 in
+  let measured =
+    List.map
+      (fun k ->
+        let best = ref infinity and last = ref [] in
+        for _ = 1 to rounds do
+          Gc.compact ();
+          let t0 = Unix.gettimeofday () in
+          let rs = Runner.run_grid ~jobs:k specs in
+          let wall = Unix.gettimeofday () -. t0 in
+          if wall < !best then best := wall;
+          last := rs
+        done;
+        (k, !best, !last))
+      arms
+  in
+  let _, wall1, base_results =
+    List.find (fun (k, _, _) -> k = 1) measured
+  in
+  let grid_tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "perf: end-to-end parallel grid, %d runs (%d scenarios x %d seeds)"
+           (List.length specs)
+           (List.length (grid_scenarios ~quick))
+           (List.length (grid_seeds ~quick)))
+      ~columns:[ "jobs"; "wall_s"; "speedup vs jobs=1"; "metrics identical" ]
+  in
+  let arm_rows =
+    List.map
+      (fun (k, wall, rs) ->
+        let identical = same_metrics rs base_results in
+        Table.add_row grid_tbl
+          [
+            Table.cell_int k;
+            Printf.sprintf "%.3f" wall;
+            Printf.sprintf "%.2fx" (wall1 /. wall);
+            (if identical then "yes" else "NO");
+          ];
+        (k, wall, identical))
+      measured
+  in
+  Table.add_note grid_tbl
+    (Printf.sprintf
+       "Runner.run_grid over a %d-domain pool (--jobs, default \
+        recommended_domain_count=%d); wall_s is the min of %d round(s), \
+        major heap compacted before each. Per-run metrics are \
+        byte-identical across every arm by the pool's determinism \
+        contract, so only wall-clock varies; speedup is capped by the \
+        host's effective cores - see docs/PERFORMANCE.md for this \
+        container's calibration."
+       !jobs
+       (Pool.default_jobs ()) rounds);
+  emit grid_tbl;
+  List.iter
+    (fun (_, _, identical) ->
+      if not identical then begin
+        prerr_endline
+          "FATAL: parallel grid metrics differ from the sequential arm";
+        exit 1
+      end)
+    arm_rows;
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"bench\": 1,\n";
+  Buffer.add_string buf "  \"bench\": 2,\n";
   Buffer.add_string buf
     "  \"description\": \"wall-clock grid over broadcast-heavy (algo x \
-     adversary x p,t,d) scenarios; first point of the perf trajectory\",\n";
+     adversary x p,t,d) scenarios, plus the end-to-end parallel-grid \
+     speedup of the domain-pool runner; second point of the perf \
+     trajectory\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
   Buffer.add_string buf "  \"baseline\": {\n";
   Buffer.add_string buf "    \"commit\": \"b5fef56\",\n";
@@ -1133,7 +1273,48 @@ let perf ~quick ~out () =
       Buffer.add_string buf
         (if i = List.length results - 1 then "    }\n" else "    },\n"))
     results;
-  Buffer.add_string buf "  ]\n}\n";
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"parallel_grid\": {\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    \"runs\": %d,\n" (List.length specs));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"scenarios\": %d, \"seeds\": %d,\n"
+       (List.length (grid_scenarios ~quick))
+       (List.length (grid_seeds ~quick)));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"recommended_domain_count\": %d,\n"
+       (Pool.default_jobs ()));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"minor_heap_words\": %d,\n"
+       (Gc.get ()).Gc.minor_heap_size);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"rounds\": %d,\n" rounds);
+  Buffer.add_string buf "    \"arms\": [\n";
+  List.iteri
+    (fun i (k, wall, identical) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      { \"jobs\": %d, \"wall_s\": %.3f, \"speedup_vs_jobs1\": \
+            %.2f, \"metrics_identical\": %b }%s\n"
+           k wall (wall1 /. wall) identical
+           (if i = List.length arm_rows - 1 then "" else ",")))
+    arm_rows;
+  Buffer.add_string buf "    ],\n";
+  (let _, best_wall, _ =
+     List.fold_left
+       (fun ((_, bw, _) as best) ((_, w, _) as arm) ->
+         if w < bw then arm else best)
+       (List.hd arm_rows) (List.tl arm_rows)
+   in
+   Buffer.add_string buf
+     (Printf.sprintf "    \"best_speedup\": %.2f,\n" (wall1 /. best_wall)));
+  Buffer.add_string buf
+    "    \"note\": \"per-run metrics byte-identical across all arms \
+     (asserted at generation time); wall-clock speedup is bounded by the \
+     host's effective core count - this container exposes 2 vCPUs with a \
+     measured two-process ceiling of ~1.5x, see docs/PERFORMANCE.md; \
+     4-core CI-class hardware is the >=2x target\"\n";
+  Buffer.add_string buf "  }\n}\n";
   let oc = open_out out in
   output_string oc (Buffer.contents buf);
   close_out oc;
@@ -1248,6 +1429,23 @@ let micro () =
     Test.make ~name:"rng-int"
       (Staged.stage (fun () -> ignore (Rng.int rng 1000)))
   in
+  let pool_grid =
+    (* Grid dispatch through the reusable pool: measures the pool's
+       per-batch overhead (queueing, condition signalling, slot
+       collection) on top of the 8 simulation runs themselves. *)
+    let pool = shared_pool () in
+    let specs =
+      Runner.grid
+        ~seeds:[ 1; 2; 3; 4 ]
+        ~algos:[ "paran1"; "da-q4" ]
+        ~advs:[ "fair" ]
+        ~points:[ (16, 64, 4) ]
+        ()
+    in
+    Test.make
+      ~name:(Printf.sprintf "pool-grid-8runs-j%d" (Pool.jobs pool))
+      (Staged.stage (fun () -> ignore (Runner.run_grid ~pool specs)))
+  in
   let tests =
     Test.make_grouped ~name:"doall"
       [
@@ -1263,6 +1461,7 @@ let micro () =
         engine_run;
         engine_da;
         rng_bench;
+        pool_grid;
       ]
   in
   let ols =
@@ -1317,10 +1516,17 @@ let experiments =
   ]
 
 let () =
+  (* Stop-the-world minor collections serialize the domain pool: with the
+     default 256k-word minor heap the parallel grid is *slower* than
+     sequential (every broadcast-heavy run allocates fresh bitsets). 2M
+     words per domain keeps the rendezvous rate low enough to scale; set
+     before any timing so the jobs=1 and jobs=N arms run under the same
+     GC (docs/PERFORMANCE.md has the calibration). *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 2 * 1024 * 1024 };
   Doall_quorum.Register.install ();
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = ref false in
-  let perf_out = ref "BENCH_1.json" in
+  let perf_out = ref "BENCH_2.json" in
   let rec strip_flags acc = function
     | "--csv" :: dir :: rest ->
       (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
@@ -1331,6 +1537,13 @@ let () =
       strip_flags acc rest
     | "--out" :: path :: rest ->
       perf_out := path;
+      strip_flags acc rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n when n >= 1 -> jobs := n
+       | _ ->
+         Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+         exit 2);
       strip_flags acc rest
     | x :: rest -> strip_flags (x :: acc) rest
     | [] -> List.rev acc

@@ -41,6 +41,14 @@ let trace_arg =
   Arg.(value & flag & info [ "trace" ]
          ~doc:"Record and print the per-processor timeline (small runs).")
 
+let jobs_arg =
+  Arg.(value
+       & opt int (Doall_sim.Pool.default_jobs ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for the grid commands (sweep, compare). \
+                 Results are identical for any N; default is the \
+                 machine's recommended domain count.")
+
 (* ------------------------------------------------------------------ *)
 
 let list_cmd =
@@ -94,15 +102,18 @@ let delays_arg =
 
 let sweep_cmd =
   let doc = "Sweep the delay bound and tabulate work/messages." in
-  let run algo adv p t delays seed =
+  let run algo adv p t delays seed jobs =
     let tbl =
       Table.create ~title:(Printf.sprintf "%s vs %s, p=%d t=%d" algo adv p t)
         ~columns:[ "d"; "work"; "messages"; "sigma"; "redundant";
                    "lower-bound"; "W/LB" ]
     in
-    List.iter
-      (fun d ->
-        let r = Runner.run ~seed ~algo ~adv ~p ~t ~d () in
+    let specs =
+      List.map (fun d -> Runner.spec ~seed ~algo ~adv ~p ~t ~d ()) delays
+    in
+    let results = Runner.run_grid ~jobs specs in
+    List.iter2
+      (fun d (r : Runner.result) ->
         let m = r.Runner.metrics in
         let lb = Bounds.lower_bound ~p ~t ~d in
         Table.add_row tbl
@@ -115,12 +126,12 @@ let sweep_cmd =
             Table.cell_float lb;
             Table.cell_ratio (float_of_int m.Doall_sim.Metrics.work) lb;
           ])
-      delays;
+      delays results;
     Table.print tbl
   in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(const run $ algo_arg $ adv_arg $ p_arg $ t_arg $ delays_arg
-          $ seed_arg)
+          $ seed_arg $ jobs_arg)
 
 let compare_cmd =
   let doc = "Run several algorithms on one instance and tabulate them." in
@@ -129,16 +140,19 @@ let compare_cmd =
          & opt (list string) [ "trivial"; "da-q4"; "paran1"; "padet"; "coord" ]
          & info [ "algos" ] ~docv:"A,B,.." ~doc:"Algorithms to compare.")
   in
-  let run algos adv p t d seed =
+  let run algos adv p t d seed jobs =
     let tbl =
       Table.create
         ~title:(Printf.sprintf "comparison vs %s, p=%d t=%d d=%d" adv p t d)
         ~columns:
           [ "algorithm"; "work"; "messages"; "effort"; "sigma"; "redundant" ]
     in
-    List.iter
-      (fun algo ->
-        let r = Runner.run ~seed ~algo ~adv ~p ~t ~d () in
+    let specs =
+      List.map (fun algo -> Runner.spec ~seed ~algo ~adv ~p ~t ~d ()) algos
+    in
+    let results = Runner.run_grid ~jobs specs in
+    List.iter2
+      (fun algo (r : Runner.result) ->
         let m = r.Runner.metrics in
         Table.add_row tbl
           [
@@ -149,7 +163,7 @@ let compare_cmd =
             Table.cell_int m.Doall_sim.Metrics.sigma;
             Table.cell_int (Doall_sim.Metrics.redundant m);
           ])
-      algos;
+      algos results;
     Table.add_note tbl
       (Printf.sprintf "oblivious baseline p*t = %d; delay-sensitive lower \
                        bound = %.0f"
@@ -158,7 +172,8 @@ let compare_cmd =
     Table.print tbl
   in
   Cmd.v (Cmd.info "compare" ~doc)
-    Term.(const run $ algos_arg $ adv_arg $ p_arg $ t_arg $ d_arg $ seed_arg)
+    Term.(const run $ algos_arg $ adv_arg $ p_arg $ t_arg $ d_arg $ seed_arg
+          $ jobs_arg)
 
 let lemma32_cmd =
   let doc = "Numerically verify Lemma 3.2 (Appendix A) over a range of u." in
@@ -230,5 +245,9 @@ let main =
     [ list_cmd; run_cmd; sweep_cmd; compare_cmd; contention_cmd; lemma32_cmd ]
 
 let () =
+  (* Multicore grids stall on stop-the-world minor collections with the
+     default minor heap; match the bench harness's 2M-word setting so
+     --jobs scales (docs/PERFORMANCE.md has the calibration). *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 2 * 1024 * 1024 };
   Doall_quorum.Register.install ();
   exit (Cmd.eval main)

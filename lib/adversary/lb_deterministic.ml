@@ -56,17 +56,28 @@ let begin_stage st (o : Adversary.oracle) =
          (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 delayed))
   end
 
-(* Keyed on the adversary value so [stages_of] can retrieve diagnostics. *)
+(* Keyed on the adversary value so [stages_of] can retrieve diagnostics.
+   [create] runs from Runner.run_grid worker domains (one instantiation
+   per run), so the registry and its id counter are mutex-guarded; the
+   [internal] state itself is only ever touched by the one run that owns
+   the adversary. The id only names the instance for [stages_of] lookup
+   and never reaches any metric, so its allocation order is free to vary
+   across parallel schedules. *)
 let registry : (string, internal) Hashtbl.t = Hashtbl.create 8
 let next_id = ref 0
+let registry_mutex = Mutex.create ()
 
 let create () =
-  incr next_id;
-  let key = Printf.sprintf "lb-det-%d" !next_id in
   let st =
     { stage_end = 0; stage_len = 1; delayed = [||]; history = [] }
   in
-  Hashtbl.replace registry key st;
+  let key =
+    Mutex.protect registry_mutex (fun () ->
+        incr next_id;
+        let key = Printf.sprintf "lb-det-%d" !next_id in
+        Hashtbl.replace registry key st;
+        key)
+  in
   let schedule (o : Adversary.oracle) =
     if o.time () >= st.stage_end then begin
       if o.time () = 0 then st.history <- [];
@@ -82,6 +93,9 @@ let create () =
   { Adversary.name = key; schedule; delay; crash = Adversary.no_crash }
 
 let stages_of (adv : Adversary.t) =
-  match Hashtbl.find_opt registry adv.Adversary.name with
+  match
+    Mutex.protect registry_mutex (fun () ->
+        Hashtbl.find_opt registry adv.Adversary.name)
+  with
   | Some st -> List.rev st.history
   | None -> []

@@ -57,16 +57,24 @@ let pick_js selection st (o : Adversary.oracle) =
          (List.length js_list))
   end
 
+(* Mutex-guarded like Lb_deterministic's registry: [create] is called
+   from Runner.run_grid worker domains. The per-instance [internal]
+   state stays single-owner; the id never reaches a metric. *)
 let registry : (string, internal) Hashtbl.t = Hashtbl.create 8
 let next_id = ref 0
+let registry_mutex = Mutex.create ()
 
 let create ?(selection = `Coverage) () =
-  incr next_id;
-  let key = Printf.sprintf "lb-rand-%d" !next_id in
   let st =
     { stage_end = 0; js = Hashtbl.create 1; delayed = [||]; history = [] }
   in
-  Hashtbl.replace registry key st;
+  let key =
+    Mutex.protect registry_mutex (fun () ->
+        incr next_id;
+        let key = Printf.sprintf "lb-rand-%d" !next_id in
+        Hashtbl.replace registry key st;
+        key)
+  in
   let schedule (o : Adversary.oracle) =
     if o.time () >= st.stage_end then begin
       if o.time () = 0 then st.history <- [];
@@ -91,6 +99,9 @@ let create ?(selection = `Coverage) () =
   { Adversary.name = key; schedule; delay; crash = Adversary.no_crash }
 
 let stages_of (adv : Adversary.t) =
-  match Hashtbl.find_opt registry adv.Adversary.name with
+  match
+    Mutex.protect registry_mutex (fun () ->
+        Hashtbl.find_opt registry adv.Adversary.name)
+  with
   | Some st -> List.rev st.history
   | None -> []

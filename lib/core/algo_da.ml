@@ -1,16 +1,22 @@
 open Doall_sim
 open Doall_perms
 
+(* Memo of the searched low-contention list per q. [make] runs from
+   Runner.run_grid worker domains, so the table is mutex-guarded; the
+   search is a deterministic function of q (fixed seed), so whichever
+   domain populates an entry first, every reader sees the same list. *)
 let psi_cache : (int, Perm.t list) Hashtbl.t = Hashtbl.create 8
+let psi_cache_mutex = Mutex.create ()
 
 let default_psi ~q =
-  match Hashtbl.find_opt psi_cache q with
-  | Some psi -> psi
-  | None ->
-    let rng = Rng.create (0xDA5EED + q) in
-    let cert = Search.certified ~rng q in
-    Hashtbl.replace psi_cache q cert.Search.list;
-    cert.Search.list
+  Mutex.protect psi_cache_mutex (fun () ->
+      match Hashtbl.find_opt psi_cache q with
+      | Some psi -> psi
+      | None ->
+        let rng = Rng.create (0xDA5EED + q) in
+        let cert = Search.certified ~rng q in
+        Hashtbl.replace psi_cache q cert.Search.list;
+        cert.Search.list)
 
 type msg = { m_tree : Bitset.t; m_tasks : Bitset.t }
 

@@ -203,18 +203,24 @@ let known_names to_name specs =
   String.concat ", " (List.map to_name specs)
 
 (* Extension point: downstream libraries (e.g. doall.quorum) contribute
-   algorithms without creating a dependency cycle. *)
+   algorithms without creating a dependency cycle. The ref is guarded by
+   a mutex because [run_grid] workers call [find_algo] from other
+   domains; registration itself should still happen before grids are
+   launched (see runner.mli). *)
 let registered : algo_spec list ref = ref []
+let registered_mutex = Mutex.create ()
 
 let register_algorithm spec =
   if List.exists (fun s -> s.algo_name = spec.algo_name) algorithms then
     invalid_arg
       (Printf.sprintf "Runner.register_algorithm: %S is a built-in name"
          spec.algo_name);
-  registered :=
-    spec :: List.filter (fun s -> s.algo_name <> spec.algo_name) !registered
+  Mutex.protect registered_mutex (fun () ->
+      registered :=
+        spec :: List.filter (fun s -> s.algo_name <> spec.algo_name) !registered)
 
-let all_algorithms () = algorithms @ List.rev !registered
+let all_algorithms () =
+  algorithms @ Mutex.protect registered_mutex (fun () -> List.rev !registered)
 
 let find_algo name =
   match List.find_opt (fun s -> s.algo_name = name) (all_algorithms ()) with
@@ -234,17 +240,23 @@ let find_adv name =
       (Printf.sprintf "unknown adversary %S (known: %s)" name
          (known_names (fun s -> s.adv_name) adversaries))
 
-let run ?(seed = 0) ?max_time ~algo ~adv ~p ~t ~d () =
+(* Like [run] but reports a capped run through [metrics.completed]
+   instead of raising, so [run_grid] can aggregate timeouts. *)
+let run_unchecked ?(seed = 0) ?max_time ~algo ~adv ~p ~t ~d () =
   let aspec = find_algo algo in
   let vspec = find_adv adv in
   let cfg = Config.make ~seed ~p ~t () in
   let adversary = vspec.instantiate ~p ~t ~d in
   let metrics = Engine.run_packed (aspec.make ()) cfg ~d ~adversary ?max_time () in
-  if not metrics.Metrics.completed then
+  { metrics; algo; adv; seed }
+
+let run ?seed ?max_time ~algo ~adv ~p ~t ~d () =
+  let r = run_unchecked ?seed ?max_time ~algo ~adv ~p ~t ~d () in
+  if not r.metrics.Metrics.completed then
     failwith
       (Printf.sprintf "run %s/%s p=%d t=%d d=%d seed=%d hit the time cap"
-         algo adv p t d seed);
-  { metrics; algo; adv; seed }
+         algo adv p t d r.seed);
+  r
 
 let run_traced ?(seed = 0) ?max_time ~algo ~adv ~p ~t ~d () =
   let aspec = find_algo algo in
@@ -256,10 +268,78 @@ let run_traced ?(seed = 0) ?max_time ~algo ~adv ~p ~t ~d () =
   in
   ({ metrics; algo; adv; seed }, trace)
 
-let average_work ?(seeds = [ 1; 2; 3; 4; 5 ]) ~algo ~adv ~p ~t ~d () =
-  let runs =
-    List.map (fun seed -> (run ~seed ~algo ~adv ~p ~t ~d ()).metrics) seeds
+(* ------------------------------------------------------------------ *)
+(* Parallel grids.                                                     *)
+
+type run_spec = {
+  spec_algo : string;
+  spec_adv : string;
+  p : int;
+  t : int;
+  d : int;
+  seed : int;
+}
+
+exception Grid_incomplete of run_spec list
+
+let spec ?(seed = 0) ~algo ~adv ~p ~t ~d () =
+  { spec_algo = algo; spec_adv = adv; p; t; d; seed }
+
+let spec_name s =
+  Printf.sprintf "%s/%s/p%d/t%d/d%d/seed%d" s.spec_algo s.spec_adv s.p s.t
+    s.d s.seed
+
+let () =
+  Printexc.register_printer (function
+    | Grid_incomplete specs ->
+      Some
+        (Printf.sprintf "Runner.Grid_incomplete: %d run(s) hit the time \
+                         cap without completing: %s"
+           (List.length specs)
+           (String.concat ", " (List.map spec_name specs)))
+    | _ -> None)
+
+let grid ?(seeds = [ 0 ]) ~algos ~advs ~points () =
+  List.concat_map
+    (fun algo ->
+      List.concat_map
+        (fun adv ->
+          List.concat_map
+            (fun (p, t, d) ->
+              List.map (fun seed -> spec ~seed ~algo ~adv ~p ~t ~d ()) seeds)
+            points)
+        advs)
+    algos
+
+let run_spec ?max_time s =
+  run_unchecked ~seed:s.seed ?max_time ~algo:s.spec_algo ~adv:s.spec_adv
+    ~p:s.p ~t:s.t ~d:s.d ()
+
+let run_grid ?jobs ?pool ?max_time specs =
+  (* Resolve names in the submitting domain so an unknown algorithm or
+     adversary fails fast, before any domain is spawned. *)
+  List.iter
+    (fun s ->
+      ignore (find_algo s.spec_algo);
+      ignore (find_adv s.spec_adv))
+    specs;
+  let one s =
+    let r = run_spec ?max_time s in
+    if r.metrics.Metrics.completed then Ok r else Error s
   in
+  let results =
+    match pool with
+    | Some pool -> Pool.map pool one specs
+    | None -> Pool.run ?jobs one specs
+  in
+  match List.filter_map (function Error s -> Some s | Ok _ -> None) results with
+  | [] -> List.map (function Ok r -> r | Error _ -> assert false) results
+  | timeouts -> raise (Grid_incomplete timeouts)
+
+let average_work ?(seeds = [ 1; 2; 3; 4; 5 ]) ?jobs ?pool ~algo ~adv ~p ~t ~d
+    () =
+  let specs = List.map (fun seed -> spec ~seed ~algo ~adv ~p ~t ~d ()) seeds in
+  let runs = List.map (fun r -> r.metrics) (run_grid ?jobs ?pool specs) in
   let len = float_of_int (List.length runs) in
   let mean f = List.fold_left (fun acc m -> acc +. f m) 0.0 runs /. len in
   ( mean (fun m -> float_of_int m.Metrics.work),

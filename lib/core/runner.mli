@@ -2,7 +2,31 @@
 
     The registries give the CLI, the examples, the tests and the
     benchmark harness one shared vocabulary. Adversary constructors are
-    invoked per run because the lower-bound adversaries are stateful. *)
+    invoked per run because the lower-bound adversaries are stateful.
+
+    {1 Thread-safety contract}
+
+    {!run_grid} fans runs across a {!Doall_sim.Pool} of domains, so
+    everything a single run touches must be per-run state:
+
+    - [adv_spec.instantiate] is called once {e per run, from the worker
+      domain that executes the run}, and must return an adversary whose
+      mutable state is fresh and unshared (stateless adversaries such as
+      [Adversary.fair] may be returned shared). All built-in adversaries
+      satisfy this; so must registered ones.
+    - [algo_spec.make] is likewise called once per run from the worker
+      domain and must return a packed module whose [init] builds
+      per-processor state only from the run's [Config]. Internal memo
+      tables (e.g. the DA(q) searched-list cache) must be guarded — see
+      [lib/core/algo_da.ml].
+    - {!register_algorithm} is safe to call from any domain, but
+      registration racing a live grid would let some runs of that grid
+      see the algorithm and others not; register at startup, before
+      launching grids (the CLI and the bench harness do).
+
+    Each run builds its own [Config] and derives every [Rng] stream from
+    the run's seed, so results are bit-identical for any [?jobs],
+    including [1] — pinned by [test/test_pool.ml]. *)
 
 open Doall_sim
 
@@ -73,8 +97,66 @@ val run_traced :
   unit ->
   result * Trace.t
 
+(** {1 Parallel grids} *)
+
+type run_spec = {
+  spec_algo : string;
+  spec_adv : string;
+  p : int;
+  t : int;
+  d : int;
+  seed : int;
+}
+(** One cell of an experiment grid, by registry name. *)
+
+exception Grid_incomplete of run_spec list
+(** Raised by {!run_grid} (and through it {!average_work}) when runs hit
+    the [max_time] cap without completing: the full list of capped
+    cells, never a silent partial result. A printable form is installed
+    via [Printexc.register_printer]. *)
+
+val spec :
+  ?seed:int ->
+  algo:string ->
+  adv:string ->
+  p:int ->
+  t:int ->
+  d:int ->
+  unit ->
+  run_spec
+
+val spec_name : run_spec -> string
+(** ["algo/adv/pP/tT/dD/seedS"], for tables and error messages. *)
+
+val grid :
+  ?seeds:int list ->
+  algos:string list ->
+  advs:string list ->
+  points:(int * int * int) list ->
+  unit ->
+  run_spec list
+(** Cross product [algos x advs x (p, t, d) points x seeds] (seeds
+    default [[0]]), in row-major order: the order {!run_grid} returns
+    results in. *)
+
+val run_spec : ?max_time:int -> run_spec -> result
+(** Run one cell in the calling domain. Unlike {!run}, a capped run is
+    reported through [metrics.completed = false], not an exception. *)
+
+val run_grid :
+  ?jobs:int -> ?pool:Pool.t -> ?max_time:int -> run_spec list -> result list
+(** Runs every cell and returns results in submission order. [?pool]
+    reuses an existing pool; otherwise a transient pool of [?jobs]
+    domains (default [Pool.default_jobs ()]) is created for the call.
+    Results are byte-identical for every [jobs >= 1] because all per-run
+    state ([Config], [Rng] streams, algorithm instances, adversary
+    state) is built inside the run — see the thread-safety contract
+    above. Raises {!Grid_incomplete} if any run hit [max_time]. *)
+
 val average_work :
   ?seeds:int list ->
+  ?jobs:int ->
+  ?pool:Pool.t ->
   algo:string ->
   adv:string ->
   p:int ->
@@ -83,4 +165,6 @@ val average_work :
   unit ->
   float * float
 (** Mean work and mean messages over the given seeds (default 5 seeds),
-    for estimating expected complexity of the randomized algorithms. *)
+    for estimating expected complexity of the randomized algorithms.
+    Seeds run through {!run_grid}, so [?jobs]/[?pool] parallelize them
+    and a capped seed raises {!Grid_incomplete}. *)
