@@ -8,6 +8,8 @@ open Doall_sim
 open Doall_core
 open Doall_perms
 open Doall_analysis
+module Json = Doall_obs.Export.Json
+module Progress = Doall_obs.Progress
 
 let wf = float_of_int
 
@@ -37,6 +39,16 @@ let run_packed ?(seed = 1) algo ~adv ~p ~t ~d =
   let adversary = (Runner.find_adv adv).Runner.instantiate ~p ~t ~d in
   let cfg = Config.make ~seed ~p ~t () in
   Engine.run_packed algo cfg ~d ~adversary ()
+
+(* Live grid progress for the longer experiments: Progress only renders
+   on a tty, so batch/CI output is untouched. [f] receives an [on_cell]
+   callback for Runner.run_grid. *)
+let with_progress ~label ~total f =
+  let pr = Progress.create ~total ~label () in
+  Fun.protect
+    ~finally:(fun () -> Progress.finish pr)
+    (fun () ->
+      f (fun ~finished:_ ~total:_ (_ : Runner.result) -> Progress.tick pr))
 
 (* With --csv DIR on the command line, every table is also written as a
    CSV artifact for downstream analysis. *)
@@ -945,7 +957,10 @@ let e17 () =
           ds)
       algos
   in
-  let results = Runner.run_grid ~pool:(shared_pool ()) specs in
+  let results =
+    with_progress ~label:"e17 grid" ~total:(List.length specs) (fun on_cell ->
+        Runner.run_grid ~pool:(shared_pool ()) ~on_cell specs)
+  in
   let works : (string * int, float list) Hashtbl.t = Hashtbl.create 64 in
   List.iter2
     (fun (s : Runner.run_spec) (r : Runner.result) ->
@@ -1108,8 +1123,15 @@ let grid_scenarios ~quick =
 
 let grid_seeds ~quick = if quick then [ 1; 2; 3 ] else [ 1; 2; 3; 4; 5; 6 ]
 
+(* Compare the deterministic payload only: [wall_s] is machine noise and
+   [obs] is None/None here, but keying on the fields keeps this honest if
+   more nondeterministic ones appear. *)
 let same_metrics (a : Runner.result list) (b : Runner.result list) =
-  List.length a = List.length b && List.for_all2 (fun x y -> x = y) a b
+  let key (r : Runner.result) =
+    (r.Runner.metrics, r.Runner.algo, r.Runner.adv, r.Runner.seed)
+  in
+  List.length a = List.length b
+  && List.for_all2 (fun x y -> key x = key y) a b
 
 let perf ~quick ~out () =
   let tbl =
@@ -1169,10 +1191,15 @@ let perf ~quick ~out () =
     List.map
       (fun k ->
         let best = ref infinity and last = ref [] in
-        for _ = 1 to rounds do
+        for round = 1 to rounds do
           Gc.compact ();
           let t0 = Unix.gettimeofday () in
-          let rs = Runner.run_grid ~jobs:k specs in
+          let rs =
+            with_progress
+              ~label:(Printf.sprintf "perf grid j%d round %d/%d" k round rounds)
+              ~total:(List.length specs)
+              (fun on_cell -> Runner.run_grid ~jobs:k ~on_cell specs)
+          in
           let wall = Unix.gettimeofday () -. t0 in
           if wall < !best then best := wall;
           last := rs
@@ -1227,96 +1254,94 @@ let perf ~quick ~out () =
         exit 1
       end)
     arm_rows;
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"bench\": 2,\n";
-  Buffer.add_string buf
-    "  \"description\": \"wall-clock grid over broadcast-heavy (algo x \
-     adversary x p,t,d) scenarios, plus the end-to-end parallel-grid \
-     speedup of the domain-pool runner; second point of the perf \
-     trajectory\",\n";
-  Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
-  Buffer.add_string buf "  \"baseline\": {\n";
-  Buffer.add_string buf "    \"commit\": \"b5fef56\",\n";
-  Buffer.add_string buf
-    "    \"engine\": \"binary-heap delivery, byte-packed bitsets, O(p) \
-     tick scans\",\n";
-  Buffer.add_string buf "    \"measured\": \"2026-08-06\",\n";
-  Buffer.add_string buf "    \"wall_s\": {\n";
-  List.iteri
-    (fun i (key, s) ->
-      Buffer.add_string buf
-        (Printf.sprintf "      %S: %.3f%s\n" key s
-           (if i = List.length perf_seed_baseline - 1 then "" else ",")))
-    perf_seed_baseline;
-  Buffer.add_string buf "    }\n  },\n";
-  Buffer.add_string buf "  \"results\": [\n";
-  List.iteri
-    (fun i (key, algo, adv, p, t, d, m, wall, seed_s) ->
-      Buffer.add_string buf "    {\n";
-      Buffer.add_string buf (Printf.sprintf "      \"scenario\": %S,\n" key);
-      Buffer.add_string buf (Printf.sprintf "      \"algo\": %S,\n" algo);
-      Buffer.add_string buf (Printf.sprintf "      \"adversary\": %S,\n" adv);
-      Buffer.add_string buf
-        (Printf.sprintf "      \"p\": %d, \"t\": %d, \"d\": %d,\n" p t d);
-      Buffer.add_string buf
-        (Printf.sprintf "      \"work\": %d, \"messages\": %d, \"sigma\": %d,\n"
-           m.Metrics.work m.Metrics.messages m.Metrics.sigma);
-      Buffer.add_string buf (Printf.sprintf "      \"wall_s\": %.3f" wall);
-      (match seed_s with
-       | Some s ->
-         Buffer.add_string buf
-           (Printf.sprintf ",\n      \"seed_wall_s\": %.3f,\n" s);
-         Buffer.add_string buf
-           (Printf.sprintf "      \"speedup_vs_seed\": %.2f\n" (s /. wall))
-       | None -> Buffer.add_string buf "\n");
-      Buffer.add_string buf
-        (if i = List.length results - 1 then "    }\n" else "    },\n"))
-    results;
-  Buffer.add_string buf "  ],\n";
-  Buffer.add_string buf "  \"parallel_grid\": {\n";
-  Buffer.add_string buf
-    (Printf.sprintf "    \"runs\": %d,\n" (List.length specs));
-  Buffer.add_string buf
-    (Printf.sprintf "    \"scenarios\": %d, \"seeds\": %d,\n"
-       (List.length (grid_scenarios ~quick))
-       (List.length (grid_seeds ~quick)));
-  Buffer.add_string buf
-    (Printf.sprintf "    \"recommended_domain_count\": %d,\n"
-       (Pool.default_jobs ()));
-  Buffer.add_string buf
-    (Printf.sprintf "    \"minor_heap_words\": %d,\n"
-       (Gc.get ()).Gc.minor_heap_size);
-  Buffer.add_string buf
-    (Printf.sprintf "    \"rounds\": %d,\n" rounds);
-  Buffer.add_string buf "    \"arms\": [\n";
-  List.iteri
-    (fun i (k, wall, identical) ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           "      { \"jobs\": %d, \"wall_s\": %.3f, \"speedup_vs_jobs1\": \
-            %.2f, \"metrics_identical\": %b }%s\n"
-           k wall (wall1 /. wall) identical
-           (if i = List.length arm_rows - 1 then "" else ",")))
-    arm_rows;
-  Buffer.add_string buf "    ],\n";
-  (let _, best_wall, _ =
-     List.fold_left
-       (fun ((_, bw, _) as best) ((_, w, _) as arm) ->
-         if w < bw then arm else best)
-       (List.hd arm_rows) (List.tl arm_rows)
-   in
-   Buffer.add_string buf
-     (Printf.sprintf "    \"best_speedup\": %.2f,\n" (wall1 /. best_wall)));
-  Buffer.add_string buf
-    "    \"note\": \"per-run metrics byte-identical across all arms \
-     (asserted at generation time); wall-clock speedup is bounded by the \
-     host's effective core count - this container exposes 2 vCPUs with a \
-     measured two-process ceiling of ~1.5x, see docs/PERFORMANCE.md; \
-     4-core CI-class hardware is the >=2x target\"\n";
-  Buffer.add_string buf "  }\n}\n";
+  let _, best_wall, _ =
+    List.fold_left
+      (fun ((_, bw, _) as best) ((_, w, _) as arm) ->
+        if w < bw then arm else best)
+      (List.hd arm_rows) (List.tl arm_rows)
+  in
+  let scenario_json (key, algo, adv, p, t, d, (m : Metrics.t), wall, seed_s) =
+    Json.Obj
+      ([
+         ("scenario", Json.Str key);
+         ("algo", Json.Str algo);
+         ("adversary", Json.Str adv);
+         ("p", Json.Int p);
+         ("t", Json.Int t);
+         ("d", Json.Int d);
+         ("work", Json.Int m.Metrics.work);
+         ("messages", Json.Int m.Metrics.messages);
+         ("sigma", Json.Int m.Metrics.sigma);
+         ("wall_s", Json.Float wall);
+       ]
+      @
+      match seed_s with
+      | Some s ->
+        [
+          ("seed_wall_s", Json.Float s);
+          ("speedup_vs_seed", Json.Float (s /. wall));
+        ]
+      | None -> [])
+  in
+  let arm_json (k, wall, identical) =
+    Json.Obj
+      [
+        ("jobs", Json.Int k);
+        ("wall_s", Json.Float wall);
+        ("speedup_vs_jobs1", Json.Float (wall1 /. wall));
+        ("metrics_identical", Json.Bool identical);
+      ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ("bench", Json.Int 2);
+        ( "description",
+          Json.Str
+            "wall-clock grid over broadcast-heavy (algo x adversary x p,t,d) \
+             scenarios, plus the end-to-end parallel-grid speedup of the \
+             domain-pool runner; second point of the perf trajectory" );
+        ("quick", Json.Bool quick);
+        ( "baseline",
+          Json.Obj
+            [
+              ("commit", Json.Str "b5fef56");
+              ( "engine",
+                Json.Str
+                  "binary-heap delivery, byte-packed bitsets, O(p) tick scans"
+              );
+              ("measured", Json.Str "2026-08-06");
+              ( "wall_s",
+                Json.Obj
+                  (List.map
+                     (fun (key, s) -> (key, Json.Float s))
+                     perf_seed_baseline) );
+            ] );
+        ("results", Json.List (List.map scenario_json results));
+        ( "parallel_grid",
+          Json.Obj
+            [
+              ("runs", Json.Int (List.length specs));
+              ("scenarios", Json.Int (List.length (grid_scenarios ~quick)));
+              ("seeds", Json.Int (List.length (grid_seeds ~quick)));
+              ("recommended_domain_count", Json.Int (Pool.default_jobs ()));
+              ("minor_heap_words", Json.Int (Gc.get ()).Gc.minor_heap_size);
+              ("rounds", Json.Int rounds);
+              ("arms", Json.List (List.map arm_json arm_rows));
+              ("best_speedup", Json.Float (wall1 /. best_wall));
+              ( "note",
+                Json.Str
+                  "per-run metrics byte-identical across all arms (asserted \
+                   at generation time); wall-clock speedup is bounded by the \
+                   host's effective core count - this container exposes 2 \
+                   vCPUs with a measured two-process ceiling of ~1.5x, see \
+                   docs/PERFORMANCE.md; 4-core CI-class hardware is the >=2x \
+                   target" );
+            ] );
+      ]
+  in
   let oc = open_out out in
-  output_string oc (Buffer.contents buf);
+  Json.pp_to_channel oc doc;
   close_out oc;
   Printf.printf "wrote %s\n" out
 
@@ -1416,6 +1441,18 @@ let micro () =
              (Engine.run_packed (Algo_pa.make_ran1 ()) cfg ~d:4
                 ~adversary:Adversary.fair ())))
   in
+  let engine_run_probed =
+    (* The same cell as engine-paran1-p16-t64 with live probes attached:
+       the pair brackets the instrumentation overhead at micro scale
+       (the `obs` bench id measures the paper-scale cell). *)
+    Test.make ~name:"engine-paran1-p16-t64-probed"
+      (Staged.stage (fun () ->
+           let cfg = Config.make ~seed:7 ~p:16 ~t:64 () in
+           let probe = Probe.create () in
+           ignore
+             (Engine.run_packed (Algo_pa.make_ran1 ()) cfg ~d:4
+                ~adversary:Adversary.fair ~probe ())))
+  in
   let engine_da =
     Test.make ~name:"engine-da-q4-p16-t64"
       (Staged.stage (fun () ->
@@ -1459,6 +1496,7 @@ let micro () =
         cont;
         tree_marks;
         engine_run;
+        engine_run_probed;
         engine_da;
         rng_bench;
         pool_grid;
@@ -1489,6 +1527,56 @@ let micro () =
           | None -> Printf.printf "  %-36s (no estimate)\n" name)
         per_test)
     results
+
+(* ------------------------------------------------------------------ *)
+(* Probe overhead: the "zero-cost when disabled, cheap when enabled"
+   claim of lib/obs, measured on the broadcast-heavy paper-scale cell
+   (the same paran1/max-delay scenario the perf table tracks). The
+   measured ratio is recorded in docs/OBSERVABILITY.md; target < 5%. *)
+
+let obs_overhead ~quick () =
+  let p, t, d = if quick then (64, 512, 8) else (256, 4096, 16) in
+  let run_cell probe =
+    let adversary =
+      (Runner.find_adv "max-delay").Runner.instantiate ~p ~t ~d
+    in
+    let cfg = Config.make ~seed:42 ~p ~t () in
+    Engine.run_packed (Algo_pa.make_ran1 ()) cfg ~d ~adversary ?probe ()
+  in
+  let timed probe =
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    let m = run_cell probe in
+    (Unix.gettimeofday () -. t0, m)
+  in
+  (* This cell runs for seconds, so best-of-N interleaved wall clock
+     beats a sampling harness here: the min discards co-tenant noise,
+     and alternating the arms exposes both to the same machine state.
+     (Bechamel covers the micro scale: engine-paran1-p16-t64[-probed].) *)
+  let rounds = if quick then 7 else 4 in
+  let off_best = ref infinity and on_best = ref infinity in
+  let off_m = ref None and on_m = ref None in
+  ignore (run_cell None) (* warm up code paths and the major heap *);
+  for _ = 1 to rounds do
+    let w, m = timed None in
+    if w < !off_best then off_best := w;
+    off_m := Some m;
+    let w, m = timed (Some (Probe.create ())) in
+    if w < !on_best then on_best := w;
+    on_m := Some m
+  done;
+  if !off_m <> !on_m then begin
+    prerr_endline "FATAL: metrics differ between probe-on and probe-off";
+    exit 1
+  end;
+  Printf.printf "== probe overhead: paran1/max-delay p=%d t=%d d=%d ==\n" p t d;
+  Printf.printf "  probe-off  %10.3f ms/run (best of %d)\n"
+    (!off_best *. 1e3) rounds;
+  Printf.printf "  probe-on   %10.3f ms/run (best of %d)\n"
+    (!on_best *. 1e3) rounds;
+  Printf.printf "  overhead   %+.2f%% (target < 5%%, docs/OBSERVABILITY.md)\n"
+    (((!on_best /. !off_best) -. 1.) *. 100.);
+  print_string "  metrics identical across arms: yes\n"
 
 (* ------------------------------------------------------------------ *)
 
@@ -1558,13 +1646,15 @@ let () =
     (fun id ->
       if id = "micro" then micro ()
       else if id = "perf" then perf ~quick:!quick ~out:!perf_out ()
+      else if id = "obs" then obs_overhead ~quick:!quick ()
       else
         match List.assoc_opt id experiments with
         | Some run ->
           run ();
           print_newline ()
         | None ->
-          Printf.eprintf "unknown experiment %S (known: %s, micro, perf)\n" id
+          Printf.eprintf
+            "unknown experiment %S (known: %s, micro, perf, obs)\n" id
             (String.concat ", " (List.map fst experiments));
           exit 2)
     requested

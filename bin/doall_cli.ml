@@ -4,12 +4,16 @@
      doall list
      doall run --algo da-q4 --adv lb-det -p 32 -t 256 -d 16
      doall run --algo paran1 --adv fair -p 8 -t 64 -d 4 --trace
+     doall run --algo paran1 --adv max-delay --obs out.jsonl
+     doall trace --algo paran1 --adv fair -p 4 -t 16 --jsonl -
      doall sweep --algo padet --adv max-delay -p 32 -t 256 --delays 1,4,16,64
      doall contention -n 6 --count 6 *)
 
 open Cmdliner
 open Doall_core
 open Doall_analysis
+module Export = Doall_obs.Export
+module Progress = Doall_obs.Progress
 
 let pos_int ~what v =
   if v <= 0 then `Error (Printf.sprintf "%s must be positive" what) else `Ok v
@@ -49,6 +53,42 @@ let jobs_arg =
                  Results are identical for any N; default is the \
                  machine's recommended domain count.")
 
+let obs_arg =
+  Arg.(value & opt (some string) None & info [ "obs" ] ~docv:"FILE"
+         ~doc:"Instrument the run with in-engine probes and write the \
+               final snapshot as JSONL to $(docv) ('-' for stdout); \
+               schema in docs/OBSERVABILITY.md. Metrics are identical \
+               with and without probes.")
+
+let progress_arg =
+  Arg.(value & flag & info [ "progress" ]
+         ~doc:"Render a live 'k/n cells, ETA' line on stderr while the \
+               grid runs (only when stderr is a tty; CI logs stay \
+               clean).")
+
+(* One cell's worth of export metadata, shared by run --obs and trace
+   --jsonl. *)
+let result_meta (r : Runner.result) p t d =
+  Export.Json.
+    [
+      ("algo", Str r.Runner.algo);
+      ("adv", Str r.Runner.adv);
+      ("p", Int p);
+      ("t", Int t);
+      ("d", Int d);
+      ("seed", Int r.Runner.seed);
+      ("wall_s", Float r.Runner.wall_s);
+    ]
+
+(* on_cell callback driving a progress meter; the runner serializes
+   invocations, so [tick] needs no extra locking. *)
+let progress_callback ~enabled ~total ~label =
+  if not enabled then (None, fun ~finished:_ ~total:_ _ -> ())
+  else begin
+    let pr = Progress.create ~total ~label () in
+    (Some pr, fun ~finished:_ ~total:_ (_ : Runner.result) -> Progress.tick pr)
+  end
+
 (* ------------------------------------------------------------------ *)
 
 let list_cmd =
@@ -69,7 +109,7 @@ let list_cmd =
 
 let run_cmd =
   let doc = "Run one algorithm against one adversary and print metrics." in
-  let run algo adv p t d seed trace =
+  let run algo adv p t d seed trace obs =
     match (pos_int ~what:"p" p, pos_int ~what:"t" t) with
     | `Error e, _ | _, `Error e -> prerr_endline e; exit 2
     | `Ok p, `Ok t ->
@@ -82,19 +122,58 @@ let run_cmd =
           "legend: # task step, o bookkeeping step, . delayed, H halt, X crash@."
       end
       else begin
-        let result = Runner.run ~seed ~algo ~adv ~p ~t ~d () in
+        let probe =
+          match obs with None -> None | Some _ -> Some (Probe.create ())
+        in
+        let result = Runner.run ~seed ?probe ~algo ~adv ~p ~t ~d () in
         Format.printf "%a@." Doall_sim.Metrics.pp result.Runner.metrics;
         let m = result.Runner.metrics in
         Format.printf "bounds: lower=%.0f pa-upper=%.0f oblivious=%.0f@."
           (Bounds.lower_bound ~p ~t ~d)
           (Bounds.pa_upper ~p ~t ~d)
           (Bounds.oblivious_work ~p ~t);
-        Format.printf "effort (W+M) = %d@." (Doall_sim.Metrics.effort m)
+        Format.printf "effort (W+M) = %d@." (Doall_sim.Metrics.effort m);
+        match obs with
+        | None -> ()
+        | Some path ->
+          Export.with_out path (fun oc ->
+              Export.write_run oc
+                ~meta:(result_meta result p t d)
+                ?snapshot:result.Runner.obs result.Runner.metrics);
+          if path <> "-" then
+            Format.eprintf "wrote probe snapshot to %s@." path
       end
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ algo_arg $ adv_arg $ p_arg $ t_arg $ d_arg $ seed_arg
-          $ trace_arg)
+          $ trace_arg $ obs_arg)
+
+let trace_cmd =
+  let doc =
+    "Run one instance with trace recording and export the event stream \
+     as JSONL."
+  in
+  let jsonl_arg =
+    Arg.(value & opt string "-" & info [ "jsonl" ] ~docv:"FILE"
+           ~doc:"Destination for the JSONL event stream ('-' = stdout, \
+                 the default); one event per line, schema in \
+                 docs/OBSERVABILITY.md.")
+  in
+  let run algo adv p t d seed jsonl =
+    match (pos_int ~what:"p" p, pos_int ~what:"t" t) with
+    | `Error e, _ | _, `Error e -> prerr_endline e; exit 2
+    | `Ok p, `Ok t ->
+      let result, tr = Runner.run_traced ~seed ~algo ~adv ~p ~t ~d () in
+      Export.with_out jsonl (fun oc ->
+          Export.write_trace oc
+            ~meta:(result_meta result p t d)
+            result.Runner.metrics tr);
+      if jsonl <> "-" then
+        Format.eprintf "wrote trace to %s@." jsonl
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ algo_arg $ adv_arg $ p_arg $ t_arg $ d_arg $ seed_arg
+          $ jsonl_arg)
 
 let delays_arg =
   Arg.(value & opt (list int) [ 1; 2; 4; 8; 16; 32; 64 ]
@@ -102,16 +181,24 @@ let delays_arg =
 
 let sweep_cmd =
   let doc = "Sweep the delay bound and tabulate work/messages." in
-  let run algo adv p t delays seed jobs =
+  let run algo adv p t delays seed jobs progress =
     let tbl =
       Table.create ~title:(Printf.sprintf "%s vs %s, p=%d t=%d" algo adv p t)
         ~columns:[ "d"; "work"; "messages"; "sigma"; "redundant";
-                   "lower-bound"; "W/LB" ]
+                   "lower-bound"; "W/LB"; "wall_s" ]
     in
     let specs =
       List.map (fun d -> Runner.spec ~seed ~algo ~adv ~p ~t ~d ()) delays
     in
-    let results = Runner.run_grid ~jobs specs in
+    let meter, on_cell =
+      progress_callback ~enabled:progress ~total:(List.length specs)
+        ~label:(Printf.sprintf "sweep %s/%s" algo adv)
+    in
+    let results =
+      Fun.protect
+        ~finally:(fun () -> Option.iter Progress.finish meter)
+        (fun () -> Runner.run_grid ~jobs ~on_cell specs)
+    in
     List.iter2
       (fun d (r : Runner.result) ->
         let m = r.Runner.metrics in
@@ -125,13 +212,17 @@ let sweep_cmd =
             Table.cell_int (Doall_sim.Metrics.redundant m);
             Table.cell_float lb;
             Table.cell_ratio (float_of_int m.Doall_sim.Metrics.work) lb;
+            Printf.sprintf "%.3f" r.Runner.wall_s;
           ])
       delays results;
+    Table.add_note tbl
+      "wall_s is per-cell wall-clock (machine-dependent; every other \
+       column is deterministic)";
     Table.print tbl
   in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(const run $ algo_arg $ adv_arg $ p_arg $ t_arg $ delays_arg
-          $ seed_arg $ jobs_arg)
+          $ seed_arg $ jobs_arg $ progress_arg)
 
 let compare_cmd =
   let doc = "Run several algorithms on one instance and tabulate them." in
@@ -140,7 +231,7 @@ let compare_cmd =
          & opt (list string) [ "trivial"; "da-q4"; "paran1"; "padet"; "coord" ]
          & info [ "algos" ] ~docv:"A,B,.." ~doc:"Algorithms to compare.")
   in
-  let run algos adv p t d seed jobs =
+  let run algos adv p t d seed jobs progress =
     let tbl =
       Table.create
         ~title:(Printf.sprintf "comparison vs %s, p=%d t=%d d=%d" adv p t d)
@@ -150,7 +241,15 @@ let compare_cmd =
     let specs =
       List.map (fun algo -> Runner.spec ~seed ~algo ~adv ~p ~t ~d ()) algos
     in
-    let results = Runner.run_grid ~jobs specs in
+    let meter, on_cell =
+      progress_callback ~enabled:progress ~total:(List.length specs)
+        ~label:(Printf.sprintf "compare vs %s" adv)
+    in
+    let results =
+      Fun.protect
+        ~finally:(fun () -> Option.iter Progress.finish meter)
+        (fun () -> Runner.run_grid ~jobs ~on_cell specs)
+    in
     List.iter2
       (fun algo (r : Runner.result) ->
         let m = r.Runner.metrics in
@@ -173,7 +272,7 @@ let compare_cmd =
   in
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(const run $ algos_arg $ adv_arg $ p_arg $ t_arg $ d_arg $ seed_arg
-          $ jobs_arg)
+          $ jobs_arg $ progress_arg)
 
 let lemma32_cmd =
   let doc = "Numerically verify Lemma 3.2 (Appendix A) over a range of u." in
@@ -242,7 +341,8 @@ let contention_cmd =
 let main =
   let doc = "message-delay-sensitive Do-All algorithms (Kowalski-Shvartsman)" in
   Cmd.group (Cmd.info "doall" ~doc)
-    [ list_cmd; run_cmd; sweep_cmd; compare_cmd; contention_cmd; lemma32_cmd ]
+    [ list_cmd; run_cmd; trace_cmd; sweep_cmd; compare_cmd; contention_cmd;
+      lemma32_cmd ]
 
 let () =
   (* Multicore grids stall on stop-the-world minor collections with the

@@ -230,7 +230,14 @@ let find_algo name =
       (Printf.sprintf "unknown algorithm %S (known: %s)" name
          (known_names (fun s -> s.algo_name) (all_algorithms ())))
 
-type result = { metrics : Metrics.t; algo : string; adv : string; seed : int }
+type result = {
+  metrics : Metrics.t;
+  algo : string;
+  adv : string;
+  seed : int;
+  wall_s : float;
+  obs : Probe.snapshot option;
+}
 
 let find_adv name =
   match List.find_opt (fun s -> s.adv_name = name) adversaries with
@@ -240,33 +247,44 @@ let find_adv name =
       (Printf.sprintf "unknown adversary %S (known: %s)" name
          (known_names (fun s -> s.adv_name) adversaries))
 
+let snapshot_of probe =
+  match probe with
+  | Some probe when Probe.enabled probe -> Some (Probe.snapshot probe)
+  | Some _ | None -> None
+
 (* Like [run] but reports a capped run through [metrics.completed]
    instead of raising, so [run_grid] can aggregate timeouts. *)
-let run_unchecked ?(seed = 0) ?max_time ~algo ~adv ~p ~t ~d () =
+let run_unchecked ?(seed = 0) ?max_time ?probe ~algo ~adv ~p ~t ~d () =
   let aspec = find_algo algo in
   let vspec = find_adv adv in
   let cfg = Config.make ~seed ~p ~t () in
   let adversary = vspec.instantiate ~p ~t ~d in
-  let metrics = Engine.run_packed (aspec.make ()) cfg ~d ~adversary ?max_time () in
-  { metrics; algo; adv; seed }
+  let t0 = Unix.gettimeofday () in
+  let metrics =
+    Engine.run_packed (aspec.make ()) cfg ~d ~adversary ?max_time ?probe ()
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  { metrics; algo; adv; seed; wall_s; obs = snapshot_of probe }
 
-let run ?seed ?max_time ~algo ~adv ~p ~t ~d () =
-  let r = run_unchecked ?seed ?max_time ~algo ~adv ~p ~t ~d () in
+let run ?seed ?max_time ?probe ~algo ~adv ~p ~t ~d () =
+  let r = run_unchecked ?seed ?max_time ?probe ~algo ~adv ~p ~t ~d () in
   if not r.metrics.Metrics.completed then
     failwith
       (Printf.sprintf "run %s/%s p=%d t=%d d=%d seed=%d hit the time cap"
          algo adv p t d r.seed);
   r
 
-let run_traced ?(seed = 0) ?max_time ~algo ~adv ~p ~t ~d () =
+let run_traced ?(seed = 0) ?max_time ?probe ~algo ~adv ~p ~t ~d () =
   let aspec = find_algo algo in
   let vspec = find_adv adv in
   let cfg = Config.make ~seed ~record_trace:true ~p ~t () in
   let adversary = vspec.instantiate ~p ~t ~d in
+  let t0 = Unix.gettimeofday () in
   let metrics, trace =
-    Engine.run_traced (aspec.make ()) cfg ~d ~adversary ?max_time ()
+    Engine.run_traced (aspec.make ()) cfg ~d ~adversary ?max_time ?probe ()
   in
-  ({ metrics; algo; adv; seed }, trace)
+  let wall_s = Unix.gettimeofday () -. t0 in
+  ({ metrics; algo; adv; seed; wall_s; obs = snapshot_of probe }, trace)
 
 (* ------------------------------------------------------------------ *)
 (* Parallel grids.                                                     *)
@@ -289,14 +307,27 @@ let spec_name s =
   Printf.sprintf "%s/%s/p%d/t%d/d%d/seed%d" s.spec_algo s.spec_adv s.p s.t
     s.d s.seed
 
+let pp_spec ppf s =
+  Format.fprintf ppf "%s/%s/p=%d/t=%d/d=%d/seed=%d" s.spec_algo s.spec_adv
+    s.p s.t s.d s.seed
+
+let pp_grid_incomplete ppf specs =
+  let n = List.length specs in
+  Format.fprintf ppf
+    "Runner.Grid_incomplete: %d cell(s) hit the time cap without \
+     completing:"
+    n;
+  (* cap the listing so a mostly-capped 252-run grid stays readable *)
+  let shown = 12 in
+  List.iteri
+    (fun i s -> if i < shown then Format.fprintf ppf "@\n  %a" pp_spec s)
+    specs;
+  if n > shown then Format.fprintf ppf "@\n  ... and %d more" (n - shown)
+
 let () =
   Printexc.register_printer (function
     | Grid_incomplete specs ->
-      Some
-        (Printf.sprintf "Runner.Grid_incomplete: %d run(s) hit the time \
-                         cap without completing: %s"
-           (List.length specs)
-           (String.concat ", " (List.map spec_name specs)))
+      Some (Format.asprintf "%a" pp_grid_incomplete specs)
     | _ -> None)
 
 let grid ?(seeds = [ 0 ]) ~algos ~advs ~points () =
@@ -311,11 +342,11 @@ let grid ?(seeds = [ 0 ]) ~algos ~advs ~points () =
         advs)
     algos
 
-let run_spec ?max_time s =
-  run_unchecked ~seed:s.seed ?max_time ~algo:s.spec_algo ~adv:s.spec_adv
-    ~p:s.p ~t:s.t ~d:s.d ()
+let run_spec ?max_time ?probe s =
+  run_unchecked ~seed:s.seed ?max_time ?probe ~algo:s.spec_algo
+    ~adv:s.spec_adv ~p:s.p ~t:s.t ~d:s.d ()
 
-let run_grid ?jobs ?pool ?max_time specs =
+let run_grid ?jobs ?pool ?max_time ?(probes = false) ?on_cell specs =
   (* Resolve names in the submitting domain so an unknown algorithm or
      adversary fails fast, before any domain is spawned. *)
   List.iter
@@ -323,8 +354,25 @@ let run_grid ?jobs ?pool ?max_time specs =
       ignore (find_algo s.spec_algo);
       ignore (find_adv s.spec_adv))
     specs;
+  (* [on_cell] fires in completion order, from whichever worker domain
+     finished the cell; a private mutex serializes invocations and the
+     finished-count increment. *)
+  let notify =
+    match on_cell with
+    | None -> fun _ -> ()
+    | Some cb ->
+      let m = Mutex.create () in
+      let finished = ref 0 in
+      let total = List.length specs in
+      fun r ->
+        Mutex.protect m (fun () ->
+            incr finished;
+            cb ~finished:!finished ~total r)
+  in
   let one s =
-    let r = run_spec ?max_time s in
+    let probe = if probes then Some (Probe.create ()) else None in
+    let r = run_spec ?max_time ?probe s in
+    notify r;
     if r.metrics.Metrics.completed then Ok r else Error s
   in
   let results =

@@ -71,11 +71,26 @@ val find_algo : string -> algo_spec
 
 val find_adv : string -> adv_spec
 
-type result = { metrics : Metrics.t; algo : string; adv : string; seed : int }
+type result = {
+  metrics : Metrics.t;
+  algo : string;
+  adv : string;
+  seed : int;
+  wall_s : float;
+      (** wall-clock of the simulation itself (engine run only, not
+          registry lookup or adversary construction) — the per-cell
+          timing column of exported grid results. Machine-dependent:
+          excluded from all determinism comparisons. *)
+  obs : Probe.snapshot option;
+      (** final probe snapshot when the run was instrumented (an
+          enabled [?probe] was passed, or [run_grid ~probes:true]);
+          [None] otherwise. *)
+}
 
 val run :
   ?seed:int ->
   ?max_time:int ->
+  ?probe:Probe.t ->
   algo:string ->
   adv:string ->
   p:int ->
@@ -84,11 +99,14 @@ val run :
   unit ->
   result
 (** One simulation. Raises [Failure] if the run hits its time cap
-    without completing (that would be an algorithm bug, not data). *)
+    without completing (that would be an algorithm bug, not data).
+    [?probe] is handed to {!Doall_sim.Engine.Make.create}; its final
+    snapshot is also stored in [result.obs] when enabled. *)
 
 val run_traced :
   ?seed:int ->
   ?max_time:int ->
+  ?probe:Probe.t ->
   algo:string ->
   adv:string ->
   p:int ->
@@ -128,6 +146,11 @@ val spec :
 val spec_name : run_spec -> string
 (** ["algo/adv/pP/tT/dD/seedS"], for tables and error messages. *)
 
+val pp_spec : Format.formatter -> run_spec -> unit
+(** Readable ["algo/adv/p=…/t=…/d=…/seed=…"] rendering; what the
+    registered {!Grid_incomplete} exception printer lists capped cells
+    with (one per line, truncated past 12 cells). *)
+
 val grid :
   ?seeds:int list ->
   algos:string list ->
@@ -139,19 +162,37 @@ val grid :
     default [[0]]), in row-major order: the order {!run_grid} returns
     results in. *)
 
-val run_spec : ?max_time:int -> run_spec -> result
+val run_spec : ?max_time:int -> ?probe:Probe.t -> run_spec -> result
 (** Run one cell in the calling domain. Unlike {!run}, a capped run is
     reported through [metrics.completed = false], not an exception. *)
 
 val run_grid :
-  ?jobs:int -> ?pool:Pool.t -> ?max_time:int -> run_spec list -> result list
+  ?jobs:int ->
+  ?pool:Pool.t ->
+  ?max_time:int ->
+  ?probes:bool ->
+  ?on_cell:(finished:int -> total:int -> result -> unit) ->
+  run_spec list ->
+  result list
 (** Runs every cell and returns results in submission order. [?pool]
     reuses an existing pool; otherwise a transient pool of [?jobs]
     domains (default [Pool.default_jobs ()]) is created for the call.
     Results are byte-identical for every [jobs >= 1] because all per-run
     state ([Config], [Rng] streams, algorithm instances, adversary
     state) is built inside the run — see the thread-safety contract
-    above. Raises {!Grid_incomplete} if any run hit [max_time]. *)
+    above. Raises {!Grid_incomplete} if any run hit [max_time].
+
+    [~probes:true] instruments every cell with its own fresh
+    {!Probe.t} (never shared across domains) and stores the final
+    snapshot in [result.obs]; snapshots are as deterministic as the
+    metrics, so they too are identical at every [jobs].
+
+    [?on_cell] is a progress callback invoked once per finished cell,
+    {e in completion order}, with the number of cells finished so far
+    and the grid total; invocations are serialized by an internal
+    mutex but may come from any worker domain, so the callback must
+    not touch domain-local state. The CLI and the bench harness use it
+    to render live [k/n cells, ETA] lines on stderr. *)
 
 val average_work :
   ?seeds:int list ->

@@ -1,0 +1,238 @@
+(* See export.mli. *)
+
+open Doall_sim
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let float_repr f =
+    if not (Float.is_finite f) then "null"
+    else
+      (* shortest representation that is still a valid JSON number *)
+      let s = Printf.sprintf "%.12g" f in
+      if String.contains s '.' || String.contains s 'e'
+         || String.contains s 'E'
+      then s
+      else s ^ ".0"
+
+  let rec render ~indent ~level buf j =
+    let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ')
+    in
+    let sep () = if indent then Buffer.add_char buf '\n' in
+    match j with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_repr f)
+    | Str s -> escape buf s
+    | List [] -> Buffer.add_string buf "[]"
+    | List xs ->
+      Buffer.add_char buf '[';
+      sep ();
+      List.iteri
+        (fun i x ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            sep ()
+          end;
+          pad (level + 1);
+          render ~indent ~level:(level + 1) buf x)
+        xs;
+      sep ();
+      pad level;
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      sep ();
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            sep ()
+          end;
+          pad (level + 1);
+          escape buf k;
+          Buffer.add_string buf (if indent then ": " else ":");
+          render ~indent ~level:(level + 1) buf v)
+        fields;
+      sep ();
+      pad level;
+      Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 256 in
+    render ~indent:false ~level:0 buf j;
+    Buffer.contents buf
+
+  let to_channel oc j = output_string oc (to_string j)
+
+  let pp_to_channel oc j =
+    let buf = Buffer.create 4096 in
+    render ~indent:true ~level:0 buf j;
+    Buffer.add_char buf '\n';
+    output_string oc (Buffer.contents buf)
+end
+
+let version = 1
+
+let line oc ~kind fields =
+  Json.to_channel oc
+    (Json.Obj (("v", Json.Int version) :: ("kind", Json.Str kind) :: fields));
+  output_char oc '\n'
+
+let metrics_fields (m : Metrics.t) =
+  Json.
+    [
+      ("p", Int m.Metrics.p);
+      ("t", Int m.Metrics.t);
+      ("d", Int m.Metrics.d);
+      ("work", Int m.Metrics.work);
+      ("messages", Int m.Metrics.messages);
+      ("sigma", Int m.Metrics.sigma);
+      ("executions", Int m.Metrics.executions);
+      ("redundant", Int (Metrics.redundant m));
+      ("completed", Bool m.Metrics.completed);
+      ("halted", Int m.Metrics.halted);
+      ("crashed", Int m.Metrics.crashed);
+      ( "per_proc_work",
+        List (Array.to_list (Array.map (fun w -> Int w) m.Metrics.per_proc_work))
+      );
+    ]
+
+let trace_event_fields (ev : Trace.event) =
+  let open Json in
+  match ev with
+  | Trace.Step { time; pid } ->
+    [ ("type", Str "step"); ("time", Int time); ("pid", Int pid) ]
+  | Trace.Delayed { time; pid } ->
+    [ ("type", Str "delayed"); ("time", Int time); ("pid", Int pid) ]
+  | Trace.Perform { time; pid; task; fresh } ->
+    [
+      ("type", Str "perform");
+      ("time", Int time);
+      ("pid", Int pid);
+      ("task", Int task);
+      ("fresh", Bool fresh);
+    ]
+  | Trace.Broadcast { time; src; copies } ->
+    [
+      ("type", Str "broadcast");
+      ("time", Int time);
+      ("src", Int src);
+      ("copies", Int copies);
+    ]
+  | Trace.Halt { time; pid } ->
+    [ ("type", Str "halt"); ("time", Int time); ("pid", Int pid) ]
+  | Trace.Crash { time; pid } ->
+    [ ("type", Str "crash"); ("time", Int time); ("pid", Int pid) ]
+  | Trace.Note { time; text } ->
+    [ ("type", Str "note"); ("time", Int time); ("text", Str text) ]
+
+let snapshot_lines (s : Probe.snapshot) =
+  let open Json in
+  let counters =
+    List.map
+      (fun (name, v) ->
+        ("counter", [ ("name", Str name); ("value", Int v) ]))
+      s.Probe.counters
+  in
+  let gauges =
+    List.map
+      (fun (name, (last, max)) ->
+        ("gauge", [ ("name", Str name); ("last", Int last); ("max", Int max) ]))
+      s.Probe.gauges
+  in
+  let histograms =
+    List.map
+      (fun (name, (h : Probe.histogram_snapshot)) ->
+        ( "histogram",
+          [
+            ("name", Str name);
+            ("count", Int h.Probe.count);
+            ("sum", Int h.Probe.sum);
+            ("max", Int h.Probe.max);
+            ( "buckets",
+              List
+                (List.map
+                   (fun (i, n) ->
+                     let lo, hi = Probe.bucket_bounds i in
+                     Obj [ ("lo", Int lo); ("hi", Int hi); ("n", Int n) ])
+                   h.Probe.buckets) );
+          ] ))
+      s.Probe.histograms
+  in
+  let vectors =
+    List.map
+      (fun (name, values) ->
+        ( "vector",
+          [
+            ("name", Str name);
+            ("values", List (Array.to_list (Array.map (fun v -> Int v) values)));
+          ] ))
+      s.Probe.vectors
+  in
+  let series =
+    List.map
+      (fun (name, points) ->
+        ( "series",
+          [
+            ("name", Str name);
+            ( "points",
+              List
+                (Array.to_list
+                   (Array.map
+                      (fun (t, v) -> List [ Int t; Int v ])
+                      points)) );
+          ] ))
+      s.Probe.series
+  in
+  counters @ gauges @ histograms @ vectors @ series
+
+let write_run oc ~meta ?snapshot m =
+  line oc ~kind:"run" meta;
+  line oc ~kind:"metrics" (metrics_fields m);
+  match snapshot with
+  | None -> ()
+  | Some s ->
+    List.iter (fun (kind, fields) -> line oc ~kind fields) (snapshot_lines s)
+
+let write_trace oc ~meta m trace =
+  line oc ~kind:"trace"
+    (meta @ [ ("events", Json.Int (Trace.length trace)) ]);
+  line oc ~kind:"metrics" (metrics_fields m);
+  Trace.fold trace ~init:() ~f:(fun () ev ->
+      line oc ~kind:"event" (trace_event_fields ev))
+
+let with_out path f =
+  if path = "-" then begin
+    f stdout;
+    flush stdout
+  end
+  else begin
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+  end

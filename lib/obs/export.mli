@@ -1,0 +1,77 @@
+(** Versioned machine-readable artifacts: JSON values and JSONL streams.
+
+    Every JSONL line this module writes is a single-line JSON object
+    carrying [{"v": 1, "kind": <string>, ...}]; the per-kind schemas are
+    documented in [docs/OBSERVABILITY.md] and validated line-by-line in
+    CI. The writers cover the three run-shaped artifacts:
+
+    - {!write_run}: a [run] header, the final {!Doall_sim.Metrics.t},
+      and every instrument of a {!Probe.snapshot} (one line each) —
+      what [doall run --obs out.jsonl] emits;
+    - {!write_trace}: a [trace] header, the metrics, and one [event]
+      line per {!Doall_sim.Trace.event} — [doall trace --jsonl];
+    - {!Json}: the value type the bench harness builds BENCH_*.json
+      from (a whole-file JSON document rather than JSONL). *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact single-line rendering. Strings are escaped per RFC 8259;
+      non-finite floats render as [null]. *)
+
+  val to_channel : out_channel -> t -> unit
+
+  val pp_to_channel : out_channel -> t -> unit
+  (** Multi-line, 2-space-indented rendering (for whole-file artifacts
+      like BENCH_*.json). *)
+end
+
+val version : int
+(** Schema version stamped on every JSONL line ([1]). *)
+
+val line : out_channel -> kind:string -> (string * Json.t) list -> unit
+(** [line oc ~kind fields] writes one newline-terminated JSONL object
+    [{"v": …, "kind": kind, fields…}]. *)
+
+val metrics_fields : Doall_sim.Metrics.t -> (string * Json.t) list
+(** The [metrics] line payload: p, t, d, work, messages, sigma,
+    executions, redundant, completed, halted, crashed, per_proc_work. *)
+
+val trace_event_fields : Doall_sim.Trace.event -> (string * Json.t) list
+(** The [event] line payload: a ["type"] tag plus the event's fields. *)
+
+val snapshot_lines : Probe.snapshot -> (string * (string * Json.t) list) list
+(** One [(kind, fields)] pair per instrument: kinds [counter], [gauge],
+    [histogram], [vector], [series]. Histogram buckets carry explicit
+    inclusive [lo]/[hi] bounds. *)
+
+val write_run :
+  out_channel ->
+  meta:(string * Json.t) list ->
+  ?snapshot:Probe.snapshot ->
+  Doall_sim.Metrics.t ->
+  unit
+(** Header line (kind [run], with [meta] inlined), the metrics line,
+    then the snapshot's instrument lines, if any. *)
+
+val write_trace :
+  out_channel ->
+  meta:(string * Json.t) list ->
+  Doall_sim.Metrics.t ->
+  Doall_sim.Trace.t ->
+  unit
+(** Header line (kind [trace]), the metrics line, then one [event] line
+    per trace event in recording order (via {!Doall_sim.Trace.fold} —
+    no intermediate list). *)
+
+val with_out : string -> (out_channel -> unit) -> unit
+(** [with_out path f] opens [path] for writing (["-"] means stdout,
+    not closed), runs [f], and always closes/flushes. *)

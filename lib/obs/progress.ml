@@ -1,0 +1,76 @@
+(* See progress.mli. *)
+
+type t = {
+  out : out_channel;
+  active : bool;
+  total : int;
+  label : string;
+  start : float;
+  mutable done_ : int;
+  mutable last_render : float;
+  mutable closed : bool;
+}
+
+let is_tty oc =
+  try Unix.isatty (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> false
+
+let create ?(out = stderr) ?(force = false) ~total ~label () =
+  {
+    out;
+    active = (force || is_tty out) && total > 0;
+    total;
+    label;
+    start = Unix.gettimeofday ();
+    done_ = 0;
+    last_render = 0.0;
+    closed = false;
+  }
+
+let eta_string ~elapsed ~done_ ~total =
+  if done_ = 0 then "?"
+  else
+    let remaining =
+      elapsed /. float_of_int done_ *. float_of_int (total - done_)
+    in
+    if remaining >= 3600.0 then
+      Printf.sprintf "%dh%02dm"
+        (int_of_float remaining / 3600)
+        (int_of_float remaining mod 3600 / 60)
+    else if remaining >= 60.0 then
+      Printf.sprintf "%dm%02ds"
+        (int_of_float remaining / 60)
+        (int_of_float remaining mod 60)
+    else Printf.sprintf "%.0fs" remaining
+
+let render t ~final =
+  let elapsed = Unix.gettimeofday () -. t.start in
+  if final then
+    Printf.fprintf t.out "\r%s: %d/%d cells, %.1fs elapsed        \n%!"
+      t.label t.done_ t.total elapsed
+  else
+    Printf.fprintf t.out "\r%s: %d/%d cells (%.0f%%), ETA %s   %!" t.label
+      t.done_ t.total
+      (100.0 *. float_of_int t.done_ /. float_of_int t.total)
+      (eta_string ~elapsed ~done_:t.done_ ~total:t.total)
+
+let tick t =
+  if t.active && not t.closed then begin
+    t.done_ <- t.done_ + 1;
+    if t.done_ >= t.total then begin
+      render t ~final:true;
+      t.closed <- true
+    end
+    else begin
+      let now = Unix.gettimeofday () in
+      if now -. t.last_render >= 0.05 then begin
+        t.last_render <- now;
+        render t ~final:false
+      end
+    end
+  end
+
+let finish t =
+  if t.active && not t.closed then begin
+    t.closed <- true;
+    Printf.fprintf t.out "\r%s\r%!" (String.make 60 ' ')
+  end

@@ -1,0 +1,24 @@
+(** Live progress for grid runs: overwriting ["label: k/n cells, ETA"]
+    lines on stderr.
+
+    Rendering is enabled only when the output channel is a tty (so CI
+    logs and redirected output stay clean) and is throttled to at most
+    ~20 redraws per second. {!tick} is safe to call from
+    {!Doall_core.Runner.run_grid}'s [?on_cell] callback: the runner
+    serializes callback invocations under its own mutex. *)
+
+type t
+
+val create :
+  ?out:out_channel -> ?force:bool -> total:int -> label:string -> unit -> t
+(** [out] defaults to [stderr]; [force] (default [false]) renders even
+    when [out] is not a tty (tests). *)
+
+val tick : t -> unit
+(** One more cell finished: redraw the [k/n] line with percentage and
+    an ETA extrapolated from the elapsed wall-clock. On the final cell,
+    prints the total elapsed time and a newline. *)
+
+val finish : t -> unit
+(** Clears the line if the grid ended early (exception); idempotent,
+    and a no-op after the final {!tick}. *)

@@ -5,6 +5,43 @@ let default_max_time ~p ~t ~d =
      bound. Add slack for delays and tiny instances. *)
   10_000 + (48 * t * p) + (64 * d)
 
+(* The engine's probe catalogue (docs/OBSERVABILITY.md). Instruments are
+   registered once at [create]; every record site below is guarded by a
+   single branch on [obs_on], so a disabled probe costs one predictable
+   conditional per site and cannot perturb metrics or RNG streams. *)
+type instruments = {
+  obs_on : bool;
+  i_fresh : Probe.counter; (* engine.fresh_executions *)
+  i_redundant : Probe.counter; (* engine.redundant_executions *)
+  i_sends : Probe.counter; (* net.sends *)
+  i_deliveries : Probe.counter; (* net.deliveries *)
+  i_latency : Probe.histogram; (* net.delivery_latency *)
+  i_fanout : Probe.histogram; (* net.fanout *)
+  i_inflight : Probe.gauge; (* net.in_flight *)
+  i_delayed : Probe.vector; (* proc.delayed_steps *)
+  i_idle : Probe.vector; (* proc.idle_steps *)
+  s_fresh : Probe.series; (* engine.fresh_executions per tick *)
+  s_redundant : Probe.series; (* engine.redundant_executions per tick *)
+  s_inflight : Probe.series; (* net.in_flight per tick *)
+}
+
+let instruments probe ~p =
+  {
+    obs_on = Probe.enabled probe;
+    i_fresh = Probe.counter probe "engine.fresh_executions";
+    i_redundant = Probe.counter probe "engine.redundant_executions";
+    i_sends = Probe.counter probe "net.sends";
+    i_deliveries = Probe.counter probe "net.deliveries";
+    i_latency = Probe.histogram probe "net.delivery_latency";
+    i_fanout = Probe.histogram probe "net.fanout";
+    i_inflight = Probe.gauge probe "net.in_flight";
+    i_delayed = Probe.vector probe "proc.delayed_steps" ~len:p;
+    i_idle = Probe.vector probe "proc.idle_steps" ~len:p;
+    s_fresh = Probe.series probe "engine.fresh_executions";
+    s_redundant = Probe.series probe "engine.redundant_executions";
+    s_inflight = Probe.series probe "net.in_flight";
+  }
+
 module Make (A : Algorithm.S) = struct
   type t = {
     cfg : Config.t;
@@ -24,6 +61,7 @@ module Make (A : Algorithm.S) = struct
     prev_eligible : int array;
     done_seen : bool array; (* pids counted in [done_alive] *)
     per_proc_work : int array;
+    ins : instruments;
     trace : Trace.t;
     mutable oracle : Adversary.oracle option;
     mutable time : int;
@@ -62,10 +100,13 @@ module Make (A : Algorithm.S) = struct
      with Exit -> ());
     List.rev !performed
 
-  let create cfg ~d ~adversary =
+  let create ?probe cfg ~d ~adversary =
     if d < 0 then invalid_arg "Engine.create: d must be non-negative";
     let d = max 1 d in
     let p = cfg.Config.p in
+    let probe =
+      match probe with Some pr -> pr | None -> Probe.create ~enabled:false ()
+    in
     let eng =
       {
         cfg;
@@ -80,6 +121,7 @@ module Make (A : Algorithm.S) = struct
         prev_eligible = Array.init (p + 1) (fun i -> if i = 0 then p else i - 1);
         done_seen = Array.make p false;
         per_proc_work = Array.make p 0;
+        ins = instruments probe ~p;
         trace = Trace.create ();
         oracle = None;
         time = 0;
@@ -150,8 +192,18 @@ module Make (A : Algorithm.S) = struct
   let step_processor eng pid =
     (* Deliver due messages, then take the local step. *)
     let st = eng.states.(pid) in
-    Network.receive_iter eng.net ~dst:pid ~now:eng.time (fun src msg ->
-        A.receive st ~src msg);
+    (if eng.ins.obs_on then begin
+       (* count locally, publish once: keeps the per-message probe cost
+          to a register increment *)
+       let delivered = ref 0 in
+       Network.receive_iter eng.net ~dst:pid ~now:eng.time (fun src msg ->
+           Stdlib.incr delivered;
+           A.receive st ~src msg);
+       Probe.add eng.ins.i_deliveries !delivered
+     end
+     else
+       Network.receive_iter eng.net ~dst:pid ~now:eng.time (fun src msg ->
+           A.receive st ~src msg));
     let r = A.step st in
     eng.work <- eng.work + 1;
     eng.per_proc_work.(pid) <- eng.per_proc_work.(pid) + 1;
@@ -160,16 +212,34 @@ module Make (A : Algorithm.S) = struct
        let fresh = not (Bitset.mem eng.global_done task) in
        Bitset.set eng.global_done task;
        eng.executions <- eng.executions + 1;
+       if eng.ins.obs_on then
+         Probe.incr
+           (if fresh then eng.ins.i_fresh else eng.ins.i_redundant);
        if eng.cfg.Config.record_trace then
          Trace.add eng.trace
            (Trace.Perform { time = eng.time; pid; task; fresh })
      | None ->
+       if eng.ins.obs_on then Probe.vincr eng.ins.i_idle pid;
        if eng.cfg.Config.record_trace then
          Trace.add eng.trace (Trace.Step { time = eng.time; pid }));
+    (* Per-message delivery deltas feed net.delivery_latency, but paying
+       a histogram update per send costs ~10% on broadcast-heavy runs.
+       Deltas arrive in runs of equal values (constant for max-delay,
+       the common case), so batch by run length: per send, one compare
+       and a register increment; one histogram flush per distinct run. *)
+    let lat_v = ref (-1) and lat_n = ref 0 in
     let send_one dst msg =
       let o = oracle eng in
       let raw = eng.adv.Adversary.delay o ~src:pid ~dst in
       let delta = max 1 (min eng.d raw) in
+      if eng.ins.obs_on then begin
+        if delta = !lat_v then incr lat_n
+        else begin
+          Probe.observe_n eng.ins.i_latency !lat_v !lat_n;
+          lat_v := delta;
+          lat_n := 1
+        end
+      end;
       Network.send eng.net ~src:pid ~dst ~due:(eng.time + delta) msg
     in
     (match r.Algorithm.broadcast with
@@ -185,6 +255,24 @@ module Make (A : Algorithm.S) = struct
     List.iter
       (fun (dst, msg) -> if dst <> pid then send_one dst msg)
       r.Algorithm.unicasts;
+    if eng.ins.obs_on then begin
+      Probe.observe_n eng.ins.i_latency !lat_v !lat_n;
+      (* multicast fan-out of this step: point-to-point copies sent.
+         [fan] equals the number of [send_one] calls above, so one
+         [add] also maintains net.sends without per-send increments. *)
+      let fan =
+        List.fold_left
+          (fun acc (dst, _) -> if dst <> pid then acc + 1 else acc)
+          (match r.Algorithm.broadcast with
+           | Some _ -> eng.cfg.Config.p - 1
+           | None -> 0)
+          r.Algorithm.unicasts
+      in
+      if fan > 0 then begin
+        Probe.add eng.ins.i_sends fan;
+        Probe.observe eng.ins.i_fanout fan
+      end
+    end;
     if r.Algorithm.halt then begin
       assert (A.is_done st);
       eng.halted.(pid) <- true;
@@ -223,10 +311,28 @@ module Make (A : Algorithm.S) = struct
       (* capture the successor first: a step may halt (unlink) [!pid] *)
       let next = eng.next_eligible.(!pid) in
       if active.(!pid) then step_processor eng !pid
-      else if eng.cfg.Config.record_trace then
-        Trace.add eng.trace (Trace.Delayed { time = eng.time; pid = !pid });
+      else begin
+        if eng.ins.obs_on then Probe.vincr eng.ins.i_delayed !pid;
+        if eng.cfg.Config.record_trace then
+          Trace.add eng.trace (Trace.Delayed { time = eng.time; pid = !pid })
+      end;
       pid := next
     done;
+    if eng.ins.obs_on then begin
+      (* per-tick trajectories: cumulative executions and the in-flight
+         message backlog (sends minus deliveries so far) *)
+      let time = eng.time in
+      Probe.sample eng.ins.s_fresh ~time
+        (Probe.counter_value eng.ins.i_fresh);
+      Probe.sample eng.ins.s_redundant ~time
+        (Probe.counter_value eng.ins.i_redundant);
+      let inflight =
+        Probe.counter_value eng.ins.i_sends
+        - Probe.counter_value eng.ins.i_deliveries
+      in
+      Probe.set eng.ins.i_inflight inflight;
+      Probe.sample eng.ins.s_inflight ~time inflight
+    end;
     if eng.done_alive > 0 && Bitset.is_full eng.global_done then begin
       eng.finished <- true;
       eng.sigma <- eng.time
@@ -262,17 +368,19 @@ module Make (A : Algorithm.S) = struct
   let global_done eng = eng.global_done
 end
 
-let run_packed (module A : Algorithm.S) cfg ~d ~adversary ?max_time () =
+let run_packed (module A : Algorithm.S) cfg ~d ~adversary ?max_time ?probe ()
+    =
   let module E = Make (A) in
-  let eng = E.create cfg ~d ~adversary in
+  let eng = E.create ?probe cfg ~d ~adversary in
   E.run ?max_time eng
 
-let run_traced (module A : Algorithm.S) cfg ~d ~adversary ?max_time () =
+let run_traced (module A : Algorithm.S) cfg ~d ~adversary ?max_time ?probe ()
+    =
   let cfg =
     Config.make ~seed:cfg.Config.seed ~record_trace:true ~p:cfg.Config.p
       ~t:cfg.Config.t ()
   in
   let module E = Make (A) in
-  let eng = E.create cfg ~d ~adversary in
+  let eng = E.create ?probe cfg ~d ~adversary in
   let m = E.run ?max_time eng in
   (m, E.trace eng)

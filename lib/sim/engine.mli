@@ -24,9 +24,19 @@
 module Make (A : Algorithm.S) : sig
   type t
 
-  val create : Config.t -> d:int -> adversary:Adversary.t -> t
+  val create : ?probe:Probe.t -> Config.t -> d:int -> adversary:Adversary.t -> t
   (** Builds initial states for all [p] processors. [d >= 0]; [d = 0] is
-      treated as [d = 1] (a message needs at least one time unit). *)
+      treated as [d = 1] (a message needs at least one time unit).
+
+      [?probe] attaches an observability probe (default: a private
+      disabled one). The engine registers its instrument catalogue —
+      fresh/redundant execution counters and per-tick series, the
+      in-flight message gauge/series, the delivery-latency and
+      multicast-fan-out histograms, and per-pid delayed/idle step
+      vectors (see docs/OBSERVABILITY.md) — and records into them only
+      behind a single branch per site, so a disabled or absent probe
+      leaves metrics and RNG streams bit-identical (pinned by
+      [test/test_obs.ml]). *)
 
   val run : ?max_time:int -> t -> Metrics.t
   (** Runs to [sigma] or to [max_time]. The default cap is generous
@@ -48,6 +58,7 @@ val run_packed :
   d:int ->
   adversary:Adversary.t ->
   ?max_time:int ->
+  ?probe:Probe.t ->
   unit ->
   Metrics.t
 (** One-shot convenience around {!Make}. *)
@@ -58,6 +69,7 @@ val run_traced :
   d:int ->
   adversary:Adversary.t ->
   ?max_time:int ->
+  ?probe:Probe.t ->
   unit ->
   Metrics.t * Trace.t
 (** Like {!run_packed} but also returns the trace (forces recording). *)

@@ -15,6 +15,12 @@ type t = {
   mutex : Mutex.t;
   work_available : Condition.t;
   queue : task Queue.t;
+  completed : int array;
+      (* tasks completed per domain slot: 0 = the submitting domain,
+         1..jobs-1 = spawned workers. Each slot is written by exactly
+         one domain (ints are immediate, so a concurrent read from
+         [jobs_completed] observes a momentarily stale but well-formed
+         count — fine for observability). *)
   mutable stop : bool;
   mutable workers : unit Domain.t array;
   mutable shut : bool;
@@ -22,7 +28,7 @@ type t = {
 
 let default_jobs () = Domain.recommended_domain_count ()
 
-let rec worker_loop pool =
+let rec worker_loop pool slot =
   Mutex.lock pool.mutex;
   while Queue.is_empty pool.queue && not pool.stop do
     Condition.wait pool.work_available pool.mutex
@@ -34,7 +40,8 @@ let rec worker_loop pool =
   | Some task ->
     Mutex.unlock pool.mutex;
     task ();
-    worker_loop pool
+    pool.completed.(slot) <- pool.completed.(slot) + 1;
+    worker_loop pool slot
 
 let create ?jobs () =
   let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
@@ -44,16 +51,23 @@ let create ?jobs () =
       mutex = Mutex.create ();
       work_available = Condition.create ();
       queue = Queue.create ();
+      completed = Array.make jobs 0;
       stop = false;
       workers = [||];
       shut = false;
     }
   in
   pool.workers <-
-    Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+    Array.init (jobs - 1)
+      (fun i -> Domain.spawn (fun () -> worker_loop pool (i + 1)));
   pool
 
 let jobs pool = pool.jobs
+
+let queue_depth pool =
+  Mutex.protect pool.mutex (fun () -> Queue.length pool.queue)
+
+let jobs_completed pool = Array.copy pool.completed
 
 (* Deterministic failure discipline: every element ran; re-raise the
    exception of the lowest-indexed failure, with its backtrace. *)
@@ -78,7 +92,14 @@ let map_array pool f xs =
   if pool.shut then invalid_arg "Pool.map: pool is shut down";
   let n = Array.length xs in
   if n = 0 then [||]
-  else if pool.jobs = 1 then collect (Array.map (guarded f) xs)
+  else if pool.jobs = 1 then
+    collect
+      (Array.map
+         (fun x ->
+           let r = guarded f x in
+           pool.completed.(0) <- pool.completed.(0) + 1;
+           r)
+         xs)
   else begin
     let results = Array.make n None in
     (* batch-local; read and written only under [pool.mutex] *)
@@ -104,6 +125,7 @@ let map_array pool f xs =
       | Some task ->
         Mutex.unlock pool.mutex;
         task ();
+        pool.completed.(0) <- pool.completed.(0) + 1;
         Mutex.lock pool.mutex
       | None -> if !remaining > 0 then Condition.wait batch_done pool.mutex
     done;

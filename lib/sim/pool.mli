@@ -40,6 +40,21 @@ val create : ?jobs:int -> unit -> t
 val jobs : t -> int
 (** The parallelism the pool was created with. *)
 
+(** {1 Observability}
+
+    Live counters for progress displays and the grid runner's
+    instrumentation; neither affects scheduling. *)
+
+val queue_depth : t -> int
+(** Tasks submitted but not yet picked up by any domain (taken under
+    the pool's mutex, so exact at the instant of the call). *)
+
+val jobs_completed : t -> int array
+(** Per-domain-slot completed-task counts, length {!jobs}: slot [0] is
+    the submitting domain, slots [1..jobs-1] the spawned workers. Each
+    slot has a single writer; reading concurrently with a running batch
+    may observe counts mid-update (momentarily stale, never torn). *)
+
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map pool f xs] applies [f] to every element of [xs] across the
     pool and returns the results in the order of [xs]. Safe to call

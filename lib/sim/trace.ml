@@ -7,17 +7,37 @@ type event =
   | Crash of { time : int; pid : int }
   | Note of { time : int; text : string }
 
-type t = { mutable events : event list; mutable length : int }
+(* Growable array in recording order: O(1) amortized add, and the
+   consumers (fold/iter/timeline, JSONL export) traverse in place —
+   the old list representation forced an O(n) reversal copy at every
+   traversal. *)
+type t = { mutable events : event array; mutable length : int }
 
-let create () = { events = []; length = 0 }
+let create () = { events = [||]; length = 0 }
+
+let dummy = Step { time = 0; pid = 0 }
 
 let add t ev =
-  t.events <- ev :: t.events;
+  let cap = Array.length t.events in
+  if t.length = cap then begin
+    let grown = Array.make (max 256 (2 * cap)) dummy in
+    Array.blit t.events 0 grown 0 t.length;
+    t.events <- grown
+  end;
+  t.events.(t.length) <- ev;
   t.length <- t.length + 1
 
 let length t = t.length
-let events t = List.rev t.events
-let iter t f = List.iter f (events t)
+
+let fold t ~init ~f =
+  let acc = ref init in
+  for i = 0 to t.length - 1 do
+    acc := f !acc t.events.(i)
+  done;
+  !acc
+
+let iter t f = fold t ~init:() ~f:(fun () ev -> f ev)
+let events t = List.init t.length (fun i -> t.events.(i))
 
 let time_of = function
   | Step { time; _ }

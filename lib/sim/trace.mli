@@ -25,10 +25,17 @@ type t
 val create : unit -> t
 val add : t -> event -> unit
 val length : t -> int
-val events : t -> event list
-(** In recording order. *)
+
+val fold : t -> init:'a -> f:('a -> event -> 'a) -> 'a
+(** Folds over the events in recording order, in place — the traversal
+    primitive {!iter}, {!events} and {!timeline} are built on. O(1)
+    space beyond the accumulator (no copy of the event log). *)
 
 val iter : t -> (event -> unit) -> unit
+
+val events : t -> event list
+(** In recording order, as a fresh list. O(n) copy — kept for tests and
+    small-trace pattern matching; bulk consumers should use {!fold}. *)
 
 val time_of : event -> int
 

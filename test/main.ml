@@ -27,6 +27,7 @@ let () =
       ("coord", Test_coord.suite);
       ("workload", Test_workload.suite);
       ("sharedmem", Test_sharedmem.suite);
+      ("obs", Test_obs.suite);
       ("golden", Test_golden.suite);
       ("golden-grid", Test_golden_grid.suite);
       ("docs", Test_docs.suite);

@@ -42,7 +42,8 @@ let test_doc_paths_exist () =
     let docs =
       [ "README.md"; "DESIGN.md"; "EXPERIMENTS.md"; "docs/PAPER_MAP.md";
         "docs/MODEL.md"; "docs/ALGORITHMS.md"; "docs/LOWER_BOUNDS.md";
-        "docs/CONTENTION.md"; "docs/PERFORMANCE.md" ]
+        "docs/CONTENTION.md"; "docs/PERFORMANCE.md";
+        "docs/OBSERVABILITY.md" ]
     in
     List.iter
       (fun doc ->

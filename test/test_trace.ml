@@ -39,6 +39,20 @@ let test_timeline_clips () =
   let rows = Trace.timeline tr ~p:1 ~until:10 in
   check "out-of-window event ignored" true (rows.(0) = String.make 10 ' ')
 
+let test_fold () =
+  let tr = Trace.create () in
+  for i = 0 to 999 do
+    Trace.add tr (Trace.Step { time = i; pid = i mod 7 })
+  done;
+  check_int "fold counts all" 1000
+    (Trace.fold tr ~init:0 ~f:(fun acc _ -> acc + 1));
+  (* fold visits in recording order and agrees with [events] *)
+  let times_via_fold =
+    List.rev (Trace.fold tr ~init:[] ~f:(fun acc e -> Trace.time_of e :: acc))
+  in
+  let times_via_events = List.map Trace.time_of (Trace.events tr) in
+  check "fold order = events order" true (times_via_fold = times_via_events)
+
 let test_pp_timeline_output () =
   let tr = Trace.create () in
   Trace.add tr (Trace.Step { time = 0; pid = 0 });
@@ -51,5 +65,6 @@ let suite =
     Alcotest.test_case "time_of" `Quick test_time_of;
     Alcotest.test_case "timeline symbols" `Quick test_timeline_symbols;
     Alcotest.test_case "timeline clips window" `Quick test_timeline_clips;
+    Alcotest.test_case "fold" `Quick test_fold;
     Alcotest.test_case "pp_timeline" `Quick test_pp_timeline_output;
   ]
