@@ -5,6 +5,8 @@
      doall run --algo da-q4 --adv lb-det -p 32 -t 256 -d 16
      doall run --algo paran1 --adv fair -p 8 -t 64 -d 4 --trace
      doall run --algo paran1 --adv max-delay --obs out.jsonl
+     doall run --algo padet --adv chaos --check --seed 7
+     doall run --algo da-q4 --adv fair --faults drop=0.5,dup=0.2x2 --check
      doall trace --algo paran1 --adv fair -p 4 -t 16 --jsonl -
      doall sweep --algo padet --adv max-delay -p 32 -t 256 --delays 1,4,16,64
      doall contention -n 6 --count 6 *)
@@ -60,6 +62,34 @@ let obs_arg =
                schema in docs/OBSERVABILITY.md. Metrics are identical \
                with and without probes.")
 
+let check_arg =
+  Arg.(value & flag & info [ "check" ]
+         ~doc:"Audit every tick with the invariant oracle and fail \
+               loudly on the first violated invariant (docs/FAULTS.md). \
+               Read-only: metrics are identical with and without.")
+
+let faults_arg =
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC"
+         ~doc:"Overlay a message-fault policy on the adversary: \
+               comma-separated $(b,drop=P), $(b,dup=P)[xN], \
+               $(b,reorder=P), e.g. 'drop=0.3,dup=0.2x2,reorder=0.1'. \
+               Beyond the paper's model; see docs/FAULTS.md.")
+
+let max_time_arg =
+  Arg.(value & opt (some int) None & info [ "max-time" ] ~docv:"N"
+         ~doc:"Cap the run at $(docv) time units. A capped run prints \
+               its partial metrics and exits nonzero instead of \
+               pretending to be data.")
+
+let parse_faults = function
+  | None -> None
+  | Some spec -> (
+    match Doall_adversary.Fault.of_spec spec with
+    | Ok (policy, _name) -> Some policy
+    | Error msg ->
+      prerr_endline ("doall: --faults: " ^ msg);
+      exit 2)
+
 let progress_arg =
   Arg.(value & flag & info [ "progress" ]
          ~doc:"Render a live 'k/n cells, ETA' line on stderr while the \
@@ -109,44 +139,65 @@ let list_cmd =
 
 let run_cmd =
   let doc = "Run one algorithm against one adversary and print metrics." in
-  let run algo adv p t d seed trace obs =
+  let run algo adv p t d seed trace obs check faults_spec max_time =
     match (pos_int ~what:"p" p, pos_int ~what:"t" t) with
     | `Error e, _ | _, `Error e -> prerr_endline e; exit 2
     | `Ok p, `Ok t ->
-      if trace then begin
-        let result, tr = Runner.run_traced ~seed ~algo ~adv ~p ~t ~d () in
-        Format.printf "%a@." Doall_sim.Metrics.pp result.Runner.metrics;
-        let until = min 120 (result.Runner.metrics.Doall_sim.Metrics.sigma + 1) in
-        Format.printf "%a" Doall_sim.Trace.pp_timeline (tr, p, until);
-        Format.printf
-          "legend: # task step, o bookkeeping step, . delayed, H halt, X crash@."
-      end
-      else begin
-        let probe =
-          match obs with None -> None | Some _ -> Some (Probe.create ())
-        in
-        let result = Runner.run ~seed ?probe ~algo ~adv ~p ~t ~d () in
-        Format.printf "%a@." Doall_sim.Metrics.pp result.Runner.metrics;
-        let m = result.Runner.metrics in
-        Format.printf "bounds: lower=%.0f pa-upper=%.0f oblivious=%.0f@."
-          (Bounds.lower_bound ~p ~t ~d)
-          (Bounds.pa_upper ~p ~t ~d)
-          (Bounds.oblivious_work ~p ~t);
-        Format.printf "effort (W+M) = %d@." (Doall_sim.Metrics.effort m);
-        match obs with
-        | None -> ()
-        | Some path ->
-          Export.with_out path (fun oc ->
-              Export.write_run oc
-                ~meta:(result_meta result p t d)
-                ?snapshot:result.Runner.obs result.Runner.metrics);
-          if path <> "-" then
-            Format.eprintf "wrote probe snapshot to %s@." path
-      end
+      let faults = parse_faults faults_spec in
+      (try
+         if trace then begin
+           let result, tr =
+             Runner.run_traced ~seed ~check ?faults ?max_time ~algo ~adv ~p
+               ~t ~d ()
+           in
+           Format.printf "%a@." Doall_sim.Metrics.pp result.Runner.metrics;
+           let until =
+             min 120 (result.Runner.metrics.Doall_sim.Metrics.sigma + 1)
+           in
+           Format.printf "%a" Doall_sim.Trace.pp_timeline (tr, p, until);
+           Format.printf
+             "legend: # task step, o bookkeeping step, . delayed, H halt, \
+              X crash, R restart@."
+         end
+         else begin
+           let probe =
+             match obs with None -> None | Some _ -> Some (Probe.create ())
+           in
+           let result =
+             Runner.run ~seed ?probe ~check ?faults ?max_time ~algo ~adv ~p
+               ~t ~d ()
+           in
+           Format.printf "%a@." Doall_sim.Metrics.pp result.Runner.metrics;
+           let m = result.Runner.metrics in
+           Format.printf "bounds: lower=%.0f pa-upper=%.0f oblivious=%.0f@."
+             (Bounds.lower_bound ~p ~t ~d)
+             (Bounds.pa_upper ~p ~t ~d)
+             (Bounds.oblivious_work ~p ~t);
+           Format.printf "effort (W+M) = %d@." (Doall_sim.Metrics.effort m);
+           match obs with
+           | None -> ()
+           | Some path ->
+             Export.with_out path (fun oc ->
+                 Export.write_run oc
+                   ~meta:(result_meta result p t d)
+                   ?snapshot:result.Runner.obs result.Runner.metrics);
+             if path <> "-" then
+               Format.eprintf "wrote probe snapshot to %s@." path
+         end
+       with
+      | Runner.Run_timeout { metrics; _ } ->
+        Format.eprintf
+          "doall: run hit the time cap at %d without completing@."
+          metrics.Doall_sim.Metrics.sigma;
+        Format.printf "partial %a@." Doall_sim.Metrics.pp metrics;
+        exit 1
+      | Doall_sim.Oracle.Invariant_violation v ->
+        Format.eprintf "doall: %a@." Doall_sim.Oracle.pp_violation v;
+        exit 1)
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ algo_arg $ adv_arg $ p_arg $ t_arg $ d_arg $ seed_arg
-          $ trace_arg $ obs_arg)
+          $ trace_arg $ obs_arg $ check_arg $ faults_arg $ max_time_arg)
 
 let trace_cmd =
   let doc =
@@ -181,7 +232,8 @@ let delays_arg =
 
 let sweep_cmd =
   let doc = "Sweep the delay bound and tabulate work/messages." in
-  let run algo adv p t delays seed jobs progress =
+  let run algo adv p t delays seed jobs progress check faults_spec =
+    let faults = parse_faults faults_spec in
     let tbl =
       Table.create ~title:(Printf.sprintf "%s vs %s, p=%d t=%d" algo adv p t)
         ~columns:[ "d"; "work"; "messages"; "sigma"; "redundant";
@@ -197,7 +249,7 @@ let sweep_cmd =
     let results =
       Fun.protect
         ~finally:(fun () -> Option.iter Progress.finish meter)
-        (fun () -> Runner.run_grid ~jobs ~on_cell specs)
+        (fun () -> Runner.run_grid ~jobs ~check ?faults ~on_cell specs)
     in
     List.iter2
       (fun d (r : Runner.result) ->
@@ -222,7 +274,7 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(const run $ algo_arg $ adv_arg $ p_arg $ t_arg $ delays_arg
-          $ seed_arg $ jobs_arg $ progress_arg)
+          $ seed_arg $ jobs_arg $ progress_arg $ check_arg $ faults_arg)
 
 let compare_cmd =
   let doc = "Run several algorithms on one instance and tabulate them." in
@@ -231,7 +283,8 @@ let compare_cmd =
          & opt (list string) [ "trivial"; "da-q4"; "paran1"; "padet"; "coord" ]
          & info [ "algos" ] ~docv:"A,B,.." ~doc:"Algorithms to compare.")
   in
-  let run algos adv p t d seed jobs progress =
+  let run algos adv p t d seed jobs progress check faults_spec =
+    let faults = parse_faults faults_spec in
     let tbl =
       Table.create
         ~title:(Printf.sprintf "comparison vs %s, p=%d t=%d d=%d" adv p t d)
@@ -248,7 +301,7 @@ let compare_cmd =
     let results =
       Fun.protect
         ~finally:(fun () -> Option.iter Progress.finish meter)
-        (fun () -> Runner.run_grid ~jobs ~on_cell specs)
+        (fun () -> Runner.run_grid ~jobs ~check ?faults ~on_cell specs)
     in
     List.iter2
       (fun algo (r : Runner.result) ->
@@ -272,7 +325,7 @@ let compare_cmd =
   in
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(const run $ algos_arg $ adv_arg $ p_arg $ t_arg $ d_arg $ seed_arg
-          $ jobs_arg $ progress_arg)
+          $ jobs_arg $ progress_arg $ check_arg $ faults_arg)
 
 let lemma32_cmd =
   let doc = "Numerically verify Lemma 3.2 (Appendix A) over a range of u." in

@@ -1,8 +1,10 @@
 open Doall_sim
 
 type t = Adversary.oracle -> int list
+type restart = Adversary.oracle -> int list
 
 let none = Adversary.no_crash
+let no_restart (_ : Adversary.oracle) = []
 
 let at_time ~time ~pids (o : Adversary.oracle) =
   if o.time () = time then pids else []
@@ -12,9 +14,13 @@ let all_but_one ~survivor ~time (o : Adversary.oracle) =
     List.filter (fun pid -> pid <> survivor) (List.init o.p Fun.id)
   else []
 
-let poisson ~rate (o : Adversary.oracle) =
+let poisson ?(survivor = 0) ~rate (o : Adversary.oracle) =
+  (* One draw per pid regardless of the survivor filter, so changing
+     [survivor] never shifts the RNG stream of later draws. *)
   List.filter
-    (fun pid -> o.alive pid && Rng.float o.rng 1.0 < rate)
+    (fun pid ->
+      let doomed = o.alive pid && Rng.float o.rng 1.0 < rate in
+      doomed && pid <> survivor)
     (List.init o.p Fun.id)
 
 let staggered ~every (o : Adversary.oracle) =
@@ -29,10 +35,52 @@ let staggered ~every (o : Adversary.oracle) =
   end
   else []
 
+let restart_after ~delay =
+  if delay < 1 then invalid_arg "Crash.restart_after: delay >= 1";
+  (* Stateful: remembers when each pid was first seen down. Single-run
+     only — instantiate a fresh policy per run, as Runner does. *)
+  let down_since : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  fun (o : Adversary.oracle) ->
+    let now = o.time () in
+    let back = ref [] in
+    for pid = o.p - 1 downto 0 do
+      if o.alive pid then Hashtbl.remove down_since pid
+      else
+        match Hashtbl.find_opt down_since pid with
+        | None -> Hashtbl.replace down_since pid now
+        | Some since ->
+          if now - since >= delay then begin
+            Hashtbl.remove down_since pid;
+            back := pid :: !back
+          end
+    done;
+    !back
+
+let flaky ?(survivor = 0) ~up ~down () =
+  if up < 1 || down < 1 then invalid_arg "Crash.flaky: up, down >= 1";
+  let cycle = up + down in
+  (* pid offsets stagger the phases so the system is never all-down;
+     [survivor] opts out of the cycle entirely, keeping liveness
+     trivially intact whatever [up]/[down] are. *)
+  let should_be_up (o : Adversary.oracle) pid =
+    pid = survivor || (o.time () + (pid * down)) mod cycle < up
+  in
+  let crash (o : Adversary.oracle) =
+    List.filter
+      (fun pid ->
+        pid <> survivor && o.alive pid && not (should_be_up o pid))
+      (List.init o.p Fun.id)
+  in
+  let restart (o : Adversary.oracle) =
+    List.filter
+      (fun pid -> (not (o.alive pid)) && should_be_up o pid)
+      (List.init o.p Fun.id)
+  in
+  (crash, restart)
+
 let into ~name crash =
-  {
-    Adversary.name;
-    schedule = Adversary.all_active;
-    delay = Delay.immediate;
-    crash;
-  }
+  Adversary.make ~name ~schedule:Adversary.all_active ~delay:Delay.immediate
+    ~crash
+
+let into_recovering ~name ~crash ~restart =
+  Adversary.with_restart restart (into ~name crash)

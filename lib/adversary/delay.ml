@@ -33,9 +33,5 @@ let targeted ~victims (o : Adversary.oracle) ~src:_ ~dst =
   if victims dst then o.d else 1
 
 let into ~name delay =
-  {
-    Adversary.name;
-    schedule = Adversary.all_active;
-    delay;
-    crash = Adversary.no_crash;
-  }
+  Adversary.make ~name ~schedule:Adversary.all_active ~delay
+    ~crash:Adversary.no_crash

@@ -1,0 +1,107 @@
+open Doall_sim
+
+type t = Adversary.faults
+
+let none (_ : Adversary.oracle) ~src:_ ~dst:_ = Adversary.Deliver
+
+let check_prob name prob =
+  if not (prob >= 0.0 && prob <= 1.0) then
+    invalid_arg (Printf.sprintf "Fault.%s: prob must be in [0,1]" name)
+
+let drop ~prob =
+  check_prob "drop" prob;
+  fun (o : Adversary.oracle) ~src:_ ~dst:_ ->
+    if Rng.float o.rng 1.0 < prob then Adversary.Drop else Adversary.Deliver
+
+let drop_all (_ : Adversary.oracle) ~src:_ ~dst:_ = Adversary.Drop
+
+let duplicate ?(copies = 1) ~prob =
+  check_prob "duplicate" prob;
+  if copies < 1 then invalid_arg "Fault.duplicate: copies >= 1";
+  fun (o : Adversary.oracle) ~src:_ ~dst:_ ->
+    if Rng.float o.rng 1.0 < prob then Adversary.Duplicate copies
+    else Adversary.Deliver
+
+let reorder ~prob =
+  check_prob "reorder" prob;
+  fun (o : Adversary.oracle) ~src:_ ~dst:_ ->
+    if Rng.float o.rng 1.0 < prob then
+      Adversary.Reorder (1 + Rng.int o.rng (max 1 o.d))
+    else Adversary.Deliver
+
+let window ~from_ ~until policy : t =
+ fun o ~src ~dst ->
+  let now = o.time () in
+  if now >= from_ && now < until then policy o ~src ~dst
+  else Adversary.Deliver
+
+let all policies : t =
+ fun o ~src ~dst ->
+  let rec first = function
+    | [] -> Adversary.Deliver
+    | policy :: rest -> (
+      match policy o ~src ~dst with
+      | Adversary.Deliver -> first rest
+      | decision -> decision)
+  in
+  first policies
+
+let into ~name policy =
+  Adversary.with_faults policy
+    (Adversary.make ~name ~schedule:Adversary.all_active ~delay:Delay.immediate
+       ~crash:Adversary.no_crash)
+
+(* ---- CLI spec parsing: "drop=0.3,dup=0.2x2,reorder=0.1" ---- *)
+
+let usage =
+  "fault spec is comma-separated drop=P | dup=P | dup=PxN | reorder=P with \
+   P in [0,1], N >= 1 (e.g. \"drop=0.3,dup=0.2x2,reorder=0.1\")"
+
+let parse_prob s =
+  match float_of_string_opt s with
+  | Some p when p >= 0.0 && p <= 1.0 -> Ok p
+  | Some _ | None -> Error usage
+
+let parse_field field =
+  match String.index_opt field '=' with
+  | None -> Error usage
+  | Some i -> (
+    let key = String.sub field 0 i in
+    let v = String.sub field (i + 1) (String.length field - i - 1) in
+    match key with
+    | "drop" ->
+      Result.map (fun p -> (drop ~prob:p, Printf.sprintf "drop=%g" p))
+        (parse_prob v)
+    | "dup" -> (
+      match String.index_opt v 'x' with
+      | None ->
+        Result.map
+          (fun p -> (duplicate ~copies:1 ~prob:p, Printf.sprintf "dup=%g" p))
+          (parse_prob v)
+      | Some j -> (
+        let pv = String.sub v 0 j in
+        let nv = String.sub v (j + 1) (String.length v - j - 1) in
+        match (parse_prob pv, int_of_string_opt nv) with
+        | Ok p, Some n when n >= 1 ->
+          Ok (duplicate ~copies:n ~prob:p, Printf.sprintf "dup=%gx%d" p n)
+        | _ -> Error usage))
+    | "reorder" ->
+      Result.map (fun p -> (reorder ~prob:p, Printf.sprintf "reorder=%g" p))
+        (parse_prob v)
+    | _ -> Error usage)
+
+let of_spec spec =
+  let fields =
+    String.split_on_char ',' spec |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if fields = [] then Error usage
+  else
+    let rec parse acc names = function
+      | [] -> Ok (all (List.rev acc), String.concat "," (List.rev names))
+      | field :: rest -> (
+        match parse_field field with
+        | Ok (policy, name) -> parse (policy :: acc) (name :: names) rest
+        | Error _ as e -> e)
+    in
+    parse [] [] fields

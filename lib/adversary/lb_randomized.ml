@@ -96,7 +96,7 @@ let create ?(selection = `Coverage) () =
   let delay (o : Adversary.oracle) ~src:_ ~dst:_ =
     max 1 (st.stage_end - o.time ())
   in
-  { Adversary.name = key; schedule; delay; crash = Adversary.no_crash }
+  Adversary.make ~name:key ~schedule ~delay ~crash:Adversary.no_crash
 
 let stages_of (adv : Adversary.t) =
   match

@@ -8,8 +8,11 @@ type tape = {
 
 let wrap (adv : Adversary.t) =
   let tape = { schedules = []; delays = []; crashes = [] } in
+  (* faults/restart pass through untaped: the exact-replay guarantee
+     below holds for fault-free, non-recovering adversaries only. *)
   let recording =
     {
+      adv with
       Adversary.name = adv.Adversary.name ^ "+rec";
       schedule =
         (fun o ->
@@ -35,34 +38,29 @@ let replay tape =
   let delays = Array.of_list (List.rev tape.delays) in
   let crashes = Array.of_list (List.rev tape.crashes) in
   let si = ref 0 and di = ref 0 and ci = ref 0 in
-  {
-    Adversary.name = "replay";
-    schedule =
-      (fun o ->
-        if !si < Array.length schedules then begin
-          let mask = schedules.(!si) in
-          incr si;
-          if Array.length mask = o.Adversary.p then Array.copy mask
-          else Array.make o.Adversary.p true
-        end
-        else Array.make o.Adversary.p true);
-    delay =
-      (fun _ ~src:_ ~dst:_ ->
-        if !di < Array.length delays then begin
-          let d = delays.(!di) in
-          incr di;
-          d
-        end
-        else 1);
-    crash =
-      (fun _ ->
-        if !ci < Array.length crashes then begin
-          let pids = crashes.(!ci) in
-          incr ci;
-          pids
-        end
-        else []);
-  }
+  Adversary.make ~name:"replay"
+    ~schedule:(fun o ->
+      if !si < Array.length schedules then begin
+        let mask = schedules.(!si) in
+        incr si;
+        if Array.length mask = o.Adversary.p then Array.copy mask
+        else Array.make o.Adversary.p true
+      end
+      else Array.make o.Adversary.p true)
+    ~delay:(fun _ ~src:_ ~dst:_ ->
+      if !di < Array.length delays then begin
+        let d = delays.(!di) in
+        incr di;
+        d
+      end
+      else 1)
+    ~crash:(fun _ ->
+      if !ci < Array.length crashes then begin
+        let pids = crashes.(!ci) in
+        incr ci;
+        pids
+      end
+      else [])
 
 let decisions tape =
   List.length tape.schedules + List.length tape.delays

@@ -16,7 +16,12 @@
     {e sequence} of decisions queries — same algorithm, same seed, same
     (p, t, d). Exhausting the tape (e.g. replaying against a different
     algorithm) falls back to fair defaults rather than failing, so
-    replay is always safe, just no longer faithful. *)
+    replay is always safe, just no longer faithful.
+
+    Fault and restart policies (docs/FAULTS.md) are {e not} taped:
+    {!wrap} passes them through unchanged and {!replay} produces a
+    reliable, non-recovering adversary, so the exact-replay guarantee
+    holds for fault-free adversaries only. *)
 
 open Doall_sim
 

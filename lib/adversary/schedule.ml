@@ -41,13 +41,13 @@ let adaptive_laggard (o : Adversary.oracle) =
   active
 
 let into ~name schedule =
-  {
-    Adversary.name;
-    schedule;
-    delay = Delay.immediate;
-    crash = Adversary.no_crash;
-  }
+  Adversary.make ~name ~schedule ~delay:Delay.immediate
+    ~crash:Adversary.no_crash
 
 let combine ~name ?(schedule = all) ?(delay = Delay.immediate)
-    ?(crash = Adversary.no_crash) () =
-  { Adversary.name; schedule; delay; crash }
+    ?(crash = Adversary.no_crash) ?faults ?restart () =
+  let adv = Adversary.make ~name ~schedule ~delay ~crash in
+  let adv =
+    match faults with None -> adv | Some f -> Adversary.with_faults f adv
+  in
+  match restart with None -> adv | Some r -> Adversary.with_restart r adv

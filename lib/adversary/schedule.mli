@@ -44,6 +44,9 @@ val combine :
   ?schedule:t ->
   ?delay:Delay.t ->
   ?crash:(Adversary.oracle -> int list) ->
+  ?faults:Adversary.faults ->
+  ?restart:(Adversary.oracle -> int list) ->
   unit ->
   Adversary.t
-(** Assemble an adversary from parts; omitted parts are fair. *)
+(** Assemble an adversary from parts; omitted parts are fair (and the
+    network reliable, crashes permanent). *)

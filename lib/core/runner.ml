@@ -197,6 +197,66 @@ let adversaries =
           Crash.into ~name:"crash-staggered"
             (Crash.staggered ~every:(max 1 (t / max 1 p))));
     };
+    (* -- chaos adversaries: beyond the paper's model (docs/FAULTS.md).
+       Every one keeps pid 0 permanently up, so each registry algorithm
+       stays live via its solo fallback even at 100% message loss. -- *)
+    {
+      adv_name = "lossy-half";
+      adv_doc = "uniform delays and every message dropped with prob 1/2";
+      instantiate =
+        (fun ~p:_ ~t:_ ~d:_ ->
+          Adversary.with_faults (Fault.drop ~prob:0.5)
+            (Delay.into ~name:"lossy-half" Delay.uniform));
+    };
+    {
+      adv_name = "lossy-all";
+      adv_doc = "100% message loss: algorithms must finish solo";
+      instantiate =
+        (fun ~p:_ ~t:_ ~d:_ -> Fault.into ~name:"lossy-all" Fault.drop_all);
+    };
+    {
+      adv_name = "dup-storm";
+      adv_doc = "uniform delays; heavy duplication and reordering";
+      instantiate =
+        (fun ~p:_ ~t:_ ~d:_ ->
+          Adversary.with_faults
+            (Fault.all
+               [
+                 Fault.duplicate ~copies:2 ~prob:0.5; Fault.reorder ~prob:0.5;
+               ])
+            (Delay.into ~name:"dup-storm" Delay.uniform));
+    };
+    {
+      adv_name = "flaky-restart";
+      adv_doc = "processors cycle crash/recover (reset state); pid 0 stays up";
+      instantiate =
+        (fun ~p:_ ~t ~d:_ ->
+          let crash, restart =
+            Crash.flaky ~survivor:0 ~up:(max 4 (t / 4)) ~down:(max 2 (t / 8))
+              ()
+          in
+          Schedule.combine ~name:"flaky-restart" ~delay:Delay.uniform ~crash
+            ~restart ());
+    };
+    {
+      adv_name = "chaos";
+      adv_doc = "drops, duplicates, reorders and flaky restarts, all at once";
+      instantiate =
+        (fun ~p:_ ~t ~d:_ ->
+          let crash, restart =
+            Crash.flaky ~survivor:0 ~up:(max 4 (t / 4)) ~down:(max 2 (t / 8))
+              ()
+          in
+          Schedule.combine ~name:"chaos" ~delay:Delay.uniform ~crash ~restart
+            ~faults:
+              (Fault.all
+                 [
+                   Fault.drop ~prob:0.3;
+                   Fault.duplicate ~copies:2 ~prob:0.2;
+                   Fault.reorder ~prob:0.3;
+                 ])
+            ());
+    };
   ]
 
 let known_names to_name specs =
@@ -252,43 +312,6 @@ let snapshot_of probe =
   | Some probe when Probe.enabled probe -> Some (Probe.snapshot probe)
   | Some _ | None -> None
 
-(* Like [run] but reports a capped run through [metrics.completed]
-   instead of raising, so [run_grid] can aggregate timeouts. *)
-let run_unchecked ?(seed = 0) ?max_time ?probe ~algo ~adv ~p ~t ~d () =
-  let aspec = find_algo algo in
-  let vspec = find_adv adv in
-  let cfg = Config.make ~seed ~p ~t () in
-  let adversary = vspec.instantiate ~p ~t ~d in
-  let t0 = Unix.gettimeofday () in
-  let metrics =
-    Engine.run_packed (aspec.make ()) cfg ~d ~adversary ?max_time ?probe ()
-  in
-  let wall_s = Unix.gettimeofday () -. t0 in
-  { metrics; algo; adv; seed; wall_s; obs = snapshot_of probe }
-
-let run ?seed ?max_time ?probe ~algo ~adv ~p ~t ~d () =
-  let r = run_unchecked ?seed ?max_time ?probe ~algo ~adv ~p ~t ~d () in
-  if not r.metrics.Metrics.completed then
-    failwith
-      (Printf.sprintf "run %s/%s p=%d t=%d d=%d seed=%d hit the time cap"
-         algo adv p t d r.seed);
-  r
-
-let run_traced ?(seed = 0) ?max_time ?probe ~algo ~adv ~p ~t ~d () =
-  let aspec = find_algo algo in
-  let vspec = find_adv adv in
-  let cfg = Config.make ~seed ~record_trace:true ~p ~t () in
-  let adversary = vspec.instantiate ~p ~t ~d in
-  let t0 = Unix.gettimeofday () in
-  let metrics, trace =
-    Engine.run_traced (aspec.make ()) cfg ~d ~adversary ?max_time ?probe ()
-  in
-  let wall_s = Unix.gettimeofday () -. t0 in
-  ({ metrics; algo; adv; seed; wall_s; obs = snapshot_of probe }, trace)
-
-(* ------------------------------------------------------------------ *)
-(* Parallel grids.                                                     *)
-
 type run_spec = {
   spec_algo : string;
   spec_adv : string;
@@ -297,8 +320,6 @@ type run_spec = {
   d : int;
   seed : int;
 }
-
-exception Grid_incomplete of run_spec list
 
 let spec ?(seed = 0) ~algo ~adv ~p ~t ~d () =
   { spec_algo = algo; spec_adv = adv; p; t; d; seed }
@@ -310,6 +331,74 @@ let spec_name s =
 let pp_spec ppf s =
   Format.fprintf ppf "%s/%s/p=%d/t=%d/d=%d/seed=%d" s.spec_algo s.spec_adv
     s.p s.t s.d s.seed
+
+exception Run_timeout of { spec : run_spec; metrics : Metrics.t }
+
+let () =
+  Printexc.register_printer (function
+    | Run_timeout { spec; metrics } ->
+      Some
+        (Format.asprintf
+           "Runner.Run_timeout: %a hit the time cap at time %d (partial \
+            metrics: work=%d, messages=%d, executions=%d)"
+           pp_spec spec metrics.Metrics.sigma metrics.Metrics.work
+           metrics.Metrics.messages metrics.Metrics.executions)
+    | _ -> None)
+
+(* Optional beyond-the-model overlay: [faults] replaces the adversary's
+   fault policy for this run ([--faults] on the CLI). *)
+let overlay ?faults adversary =
+  match faults with
+  | None -> adversary
+  | Some f -> Adversary.with_faults f adversary
+
+(* Like [run] but reports a capped run through [metrics.completed]
+   instead of raising, so [run_grid] can aggregate timeouts. *)
+let run_unchecked ?(seed = 0) ?max_time ?probe ?check ?faults ~algo ~adv ~p
+    ~t ~d () =
+  let aspec = find_algo algo in
+  let vspec = find_adv adv in
+  let cfg = Config.make ~seed ~p ~t () in
+  let adversary = overlay ?faults (vspec.instantiate ~p ~t ~d) in
+  let t0 = Unix.gettimeofday () in
+  let metrics =
+    Engine.run_packed (aspec.make ()) cfg ~d ~adversary ?max_time ?probe
+      ?check ()
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  { metrics; algo; adv; seed; wall_s; obs = snapshot_of probe }
+
+let run ?seed ?max_time ?probe ?check ?faults ~algo ~adv ~p ~t ~d () =
+  let r =
+    run_unchecked ?seed ?max_time ?probe ?check ?faults ~algo ~adv ~p ~t ~d ()
+  in
+  if not r.metrics.Metrics.completed then
+    raise
+      (Run_timeout
+         {
+           spec = spec ~seed:r.seed ~algo ~adv ~p ~t ~d ();
+           metrics = r.metrics;
+         });
+  r
+
+let run_traced ?(seed = 0) ?max_time ?probe ?check ?faults ~algo ~adv ~p ~t
+    ~d () =
+  let aspec = find_algo algo in
+  let vspec = find_adv adv in
+  let cfg = Config.make ~seed ~record_trace:true ~p ~t () in
+  let adversary = overlay ?faults (vspec.instantiate ~p ~t ~d) in
+  let t0 = Unix.gettimeofday () in
+  let metrics, trace =
+    Engine.run_traced (aspec.make ()) cfg ~d ~adversary ?max_time ?probe
+      ?check ()
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  ({ metrics; algo; adv; seed; wall_s; obs = snapshot_of probe }, trace)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel grids.                                                     *)
+
+exception Grid_incomplete of run_spec list
 
 let pp_grid_incomplete ppf specs =
   let n = List.length specs in
@@ -342,11 +431,12 @@ let grid ?(seeds = [ 0 ]) ~algos ~advs ~points () =
         advs)
     algos
 
-let run_spec ?max_time ?probe s =
-  run_unchecked ~seed:s.seed ?max_time ?probe ~algo:s.spec_algo
-    ~adv:s.spec_adv ~p:s.p ~t:s.t ~d:s.d ()
+let run_spec ?max_time ?probe ?check ?faults s =
+  run_unchecked ~seed:s.seed ?max_time ?probe ?check ?faults
+    ~algo:s.spec_algo ~adv:s.spec_adv ~p:s.p ~t:s.t ~d:s.d ()
 
-let run_grid ?jobs ?pool ?max_time ?(probes = false) ?on_cell specs =
+let run_grid ?jobs ?pool ?max_time ?(probes = false) ?check ?faults ?on_cell
+    specs =
   (* Resolve names in the submitting domain so an unknown algorithm or
      adversary fails fast, before any domain is spawned. *)
   List.iter
@@ -371,7 +461,7 @@ let run_grid ?jobs ?pool ?max_time ?(probes = false) ?on_cell specs =
   in
   let one s =
     let probe = if probes then Some (Probe.create ()) else None in
-    let r = run_spec ?max_time ?probe s in
+    let r = run_spec ?max_time ?probe ?check ?faults s in
     notify r;
     if r.metrics.Metrics.completed then Ok r else Error s
   in

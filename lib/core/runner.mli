@@ -64,7 +64,12 @@ val all_algorithms : unit -> algo_spec list
 val adversaries : adv_spec list
 (** fair, max-delay, uniform-delay, batch, solo, round-robin,
     harmonic, random-half, laggard, lb-det, lb-rand, lb-rand-random,
-    crash-half, crash-all-but-one, crash-staggered. *)
+    crash-half, crash-all-but-one, crash-staggered — plus the
+    beyond-the-model chaos adversaries of docs/FAULTS.md: lossy-half,
+    lossy-all, dup-storm, flaky-restart, chaos. Every chaos adversary
+    keeps pid 0 permanently alive, so all registry algorithms terminate
+    under them (pinned by [test/test_faults.ml], including at 100%
+    message loss). *)
 
 val find_algo : string -> algo_spec
 (** Raises [Failure] with a message listing known names. *)
@@ -87,36 +92,6 @@ type result = {
           [None] otherwise. *)
 }
 
-val run :
-  ?seed:int ->
-  ?max_time:int ->
-  ?probe:Probe.t ->
-  algo:string ->
-  adv:string ->
-  p:int ->
-  t:int ->
-  d:int ->
-  unit ->
-  result
-(** One simulation. Raises [Failure] if the run hits its time cap
-    without completing (that would be an algorithm bug, not data).
-    [?probe] is handed to {!Doall_sim.Engine.Make.create}; its final
-    snapshot is also stored in [result.obs] when enabled. *)
-
-val run_traced :
-  ?seed:int ->
-  ?max_time:int ->
-  ?probe:Probe.t ->
-  algo:string ->
-  adv:string ->
-  p:int ->
-  t:int ->
-  d:int ->
-  unit ->
-  result * Trace.t
-
-(** {1 Parallel grids} *)
-
 type run_spec = {
   spec_algo : string;
   spec_adv : string;
@@ -126,6 +101,53 @@ type run_spec = {
   seed : int;
 }
 (** One cell of an experiment grid, by registry name. *)
+
+exception Run_timeout of { spec : run_spec; metrics : Metrics.t }
+(** Raised by {!run} and {!run_traced} when the run hits its time cap
+    without completing. Carries the full partial metrics (work,
+    messages, executions, per-processor work so far; [sigma] is the cap
+    time and [completed] is false) so callers can report how far the
+    run got instead of discarding it. A printable form is installed via
+    [Printexc.register_printer]. *)
+
+val run :
+  ?seed:int ->
+  ?max_time:int ->
+  ?probe:Probe.t ->
+  ?check:bool ->
+  ?faults:Adversary.faults ->
+  algo:string ->
+  adv:string ->
+  p:int ->
+  t:int ->
+  d:int ->
+  unit ->
+  result
+(** One simulation. Raises {!Run_timeout} (with the partial metrics) if
+    the run hits its time cap without completing — under a reliable
+    network that would be an algorithm bug, under injected faults it can
+    be honest behaviour worth reporting either way.
+    [?probe] is handed to {!Doall_sim.Engine.Make.create}; its final
+    snapshot is also stored in [result.obs] when enabled.
+    [?check:true] turns on the invariant oracle
+    ({!Doall_sim.Oracle}) for the whole run. [?faults] overlays a
+    message-fault policy on the named adversary (the CLI's [--faults]). *)
+
+val run_traced :
+  ?seed:int ->
+  ?max_time:int ->
+  ?probe:Probe.t ->
+  ?check:bool ->
+  ?faults:Adversary.faults ->
+  algo:string ->
+  adv:string ->
+  p:int ->
+  t:int ->
+  d:int ->
+  unit ->
+  result * Trace.t
+
+(** {1 Parallel grids} *)
 
 exception Grid_incomplete of run_spec list
 (** Raised by {!run_grid} (and through it {!average_work}) when runs hit
@@ -162,7 +184,13 @@ val grid :
     default [[0]]), in row-major order: the order {!run_grid} returns
     results in. *)
 
-val run_spec : ?max_time:int -> ?probe:Probe.t -> run_spec -> result
+val run_spec :
+  ?max_time:int ->
+  ?probe:Probe.t ->
+  ?check:bool ->
+  ?faults:Adversary.faults ->
+  run_spec ->
+  result
 (** Run one cell in the calling domain. Unlike {!run}, a capped run is
     reported through [metrics.completed = false], not an exception. *)
 
@@ -171,6 +199,8 @@ val run_grid :
   ?pool:Pool.t ->
   ?max_time:int ->
   ?probes:bool ->
+  ?check:bool ->
+  ?faults:Adversary.faults ->
   ?on_cell:(finished:int -> total:int -> result -> unit) ->
   run_spec list ->
   result list
@@ -186,6 +216,10 @@ val run_grid :
     {!Probe.t} (never shared across domains) and stores the final
     snapshot in [result.obs]; snapshots are as deterministic as the
     metrics, so they too are identical at every [jobs].
+
+    [?check] turns on the invariant oracle in every cell; [?faults]
+    overlays one fault policy on every cell's adversary. Both default
+    to off, leaving grids bit-identical to before these existed.
 
     [?on_cell] is a progress callback invoked once per finished cell,
     {e in completion order}, with the number of cells finished so far

@@ -149,6 +149,8 @@ let trace_event_fields (ev : Trace.event) =
     [ ("type", Str "halt"); ("time", Int time); ("pid", Int pid) ]
   | Trace.Crash { time; pid } ->
     [ ("type", Str "crash"); ("time", Int time); ("pid", Int pid) ]
+  | Trace.Restart { time; pid } ->
+    [ ("type", Str "restart"); ("time", Int time); ("pid", Int pid) ]
   | Trace.Note { time; text } ->
     [ ("type", Str "note"); ("time", Int time); ("text", Str text) ]
 

@@ -16,44 +16,45 @@ type oracle = {
   rng : Rng.t;
 }
 
+type fault_action = Deliver | Drop | Duplicate of int | Reorder of int
+type faults = oracle -> src:int -> dst:int -> fault_action
+
 type t = {
   name : string;
   schedule : oracle -> bool array;
   delay : oracle -> src:int -> dst:int -> int;
   crash : oracle -> int list;
+  faults : faults option;
+  restart : (oracle -> int list) option;
 }
 
 let no_crash (_ : oracle) = []
 let all_active o = Array.make o.p true
 
+let make ~name ~schedule ~delay ~crash =
+  { name; schedule; delay; crash; faults = None; restart = None }
+
+let with_faults f adv = { adv with faults = Some f }
+let with_restart r adv = { adv with restart = Some r }
+
 let fair =
-  {
-    name = "fair";
-    schedule = all_active;
-    delay = (fun _ ~src:_ ~dst:_ -> 1);
-    crash = no_crash;
-  }
+  make ~name:"fair" ~schedule:all_active
+    ~delay:(fun _ ~src:_ ~dst:_ -> 1)
+    ~crash:no_crash
 
 let fixed_delay delta =
-  {
-    name = Printf.sprintf "fixed-delay-%d" delta;
-    schedule = all_active;
-    delay = (fun _ ~src:_ ~dst:_ -> delta);
-    crash = no_crash;
-  }
+  make
+    ~name:(Printf.sprintf "fixed-delay-%d" delta)
+    ~schedule:all_active
+    ~delay:(fun _ ~src:_ ~dst:_ -> delta)
+    ~crash:no_crash
 
 let max_delay =
-  {
-    name = "max-delay";
-    schedule = all_active;
-    delay = (fun o ~src:_ ~dst:_ -> o.d);
-    crash = no_crash;
-  }
+  make ~name:"max-delay" ~schedule:all_active
+    ~delay:(fun o ~src:_ ~dst:_ -> o.d)
+    ~crash:no_crash
 
 let uniform_delay =
-  {
-    name = "uniform-delay";
-    schedule = all_active;
-    delay = (fun o ~src:_ ~dst:_ -> 1 + Rng.int o.rng (max 1 o.d));
-    crash = no_crash;
-  }
+  make ~name:"uniform-delay" ~schedule:all_active
+    ~delay:(fun o ~src:_ ~dst:_ -> 1 + Rng.int o.rng (max 1 o.d))
+    ~crash:no_crash

@@ -36,6 +36,25 @@ type oracle = {
   rng : Rng.t;  (** adversary's private random stream *)
 }
 
+(** Verdict of a fault policy on one point-to-point message, decided at
+    send time. Anything other than {!Deliver} steps outside the paper's
+    reliable-channel model (§2.1) — see docs/FAULTS.md. *)
+type fault_action =
+  | Deliver  (** the paper's model: delayed but reliable *)
+  | Drop  (** the message is lost; it still counts toward [M] *)
+  | Duplicate of int
+      (** deliver the message plus [n >= 1] extra copies; each extra
+          copy's latency is re-drawn from the adversary's [delay]
+          policy, so copies may arrive out of order. Network-level
+          replicas do not count toward [M]. *)
+  | Reorder of int
+      (** deliver, but add [j >= 0] extra latency units on top of the
+          [delay] policy's pick (the sum is still clamped into
+          [1 .. d]) — pushes the message behind later traffic. *)
+
+type faults = oracle -> src:int -> dst:int -> fault_action
+(** Invoked once per point-to-point send (after the [delay] policy). *)
+
 type t = {
   name : string;
   schedule : oracle -> bool array;
@@ -49,6 +68,18 @@ type t = {
   crash : oracle -> int list;
       (** pids to crash at this instant; the engine refuses to crash the
           last live processor. *)
+  faults : faults option;
+      (** [None] — the paper's reliable network; the engine's send path
+          pays exactly one branch and no RNG stream moves (pinned by the
+          golden grid). [Some f] — per-message drop / duplication /
+          reordering beyond the model; see {!Doall_adversary.Fault}. *)
+  restart : (oracle -> int list) option;
+      (** [None] — the paper's model: crashes are permanent. [Some r] —
+          pids to restart at this instant; a restarted processor comes
+          back {e with reset local state} ([Algorithm.S.init] is re-run,
+          so it has forgotten everything it knew). Restarting a live pid
+          is a no-op. Applied at the start of each tick, before
+          [crash]. *)
 }
 
 val fair : t
@@ -67,3 +98,21 @@ val uniform_delay : t
 val no_crash : oracle -> int list
 val all_active : oracle -> bool array
 (** Building blocks for custom adversaries. *)
+
+val make :
+  name:string ->
+  schedule:(oracle -> bool array) ->
+  delay:(oracle -> src:int -> dst:int -> int) ->
+  crash:(oracle -> int list) ->
+  t
+(** An adversary inside the paper's model: no faults, no restarts. The
+    constructor all paper-mode builders go through, so adding
+    beyond-the-model capabilities never touches them. *)
+
+val with_faults : faults -> t -> t
+(** Overlay a fault policy (replacing any existing one); the name is
+    kept. Compose several policies first with
+    {!Doall_adversary.Fault.all}. *)
+
+val with_restart : (oracle -> int list) -> t -> t
+(** Overlay a restart policy (replacing any existing one). *)

@@ -18,6 +18,8 @@ type instruments = {
   i_latency : Probe.histogram; (* net.delivery_latency *)
   i_fanout : Probe.histogram; (* net.fanout *)
   i_inflight : Probe.gauge; (* net.in_flight *)
+  i_drops : Probe.counter; (* net.drops *)
+  i_dups : Probe.counter; (* net.dups *)
   i_delayed : Probe.vector; (* proc.delayed_steps *)
   i_idle : Probe.vector; (* proc.idle_steps *)
   s_fresh : Probe.series; (* engine.fresh_executions per tick *)
@@ -35,6 +37,8 @@ let instruments probe ~p =
     i_latency = Probe.histogram probe "net.delivery_latency";
     i_fanout = Probe.histogram probe "net.fanout";
     i_inflight = Probe.gauge probe "net.in_flight";
+    i_drops = Probe.counter probe "net.drops";
+    i_dups = Probe.counter probe "net.dups";
     i_delayed = Probe.vector probe "proc.delayed_steps" ~len:p;
     i_idle = Probe.vector probe "proc.idle_steps" ~len:p;
     s_fresh = Probe.series probe "engine.fresh_executions";
@@ -63,6 +67,7 @@ module Make (A : Algorithm.S) = struct
     per_proc_work : int array;
     ins : instruments;
     trace : Trace.t;
+    check : Oracle.t option; (* the invariant oracle, when [~check:true] *)
     mutable oracle : Adversary.oracle option;
     mutable time : int;
     mutable work : int;
@@ -100,7 +105,7 @@ module Make (A : Algorithm.S) = struct
      with Exit -> ());
     List.rev !performed
 
-  let create ?probe cfg ~d ~adversary =
+  let create ?probe ?(check = false) cfg ~d ~adversary =
     if d < 0 then invalid_arg "Engine.create: d must be non-negative";
     let d = max 1 d in
     let p = cfg.Config.p in
@@ -123,6 +128,7 @@ module Make (A : Algorithm.S) = struct
         per_proc_work = Array.make p 0;
         ins = instruments probe ~p;
         trace = Trace.create ();
+        check = (if check then Some (Oracle.create ()) else None);
         oracle = None;
         time = 0;
         work = 0;
@@ -175,6 +181,68 @@ module Make (A : Algorithm.S) = struct
     eng.next_eligible.(prv) <- nxt;
     eng.prev_eligible.(nxt) <- prv
 
+  (* Re-insert [pid] keeping the list sorted. Eligibility stopped being
+     monotone the day crash-recovery arrived, so insertion needs a
+     predecessor: scan downwards for the nearest eligible pid — O(p),
+     but only paid on the (rare) restart path, never per tick. *)
+  let link_eligible eng pid =
+    let p = eng.cfg.Config.p in
+    let prv = ref p (* sentinel *) in
+    (try
+       for j = pid - 1 downto 0 do
+         if eng.alive.(j) && not eng.halted.(j) then begin
+           prv := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let nxt = eng.next_eligible.(!prv) in
+    eng.next_eligible.(!prv) <- pid;
+    eng.prev_eligible.(pid) <- !prv;
+    eng.next_eligible.(pid) <- nxt;
+    eng.prev_eligible.(nxt) <- pid
+
+  (* A read-only window for the invariant oracle; built only on checked
+     runs, so the closures cost nothing in the default configuration. *)
+  let oracle_view eng =
+    {
+      Oracle.time = eng.time;
+      p = eng.cfg.Config.p;
+      t = eng.cfg.Config.t;
+      global_done = eng.global_done;
+      local_done = (fun pid -> A.done_tasks eng.states.(pid));
+      alive = (fun pid -> eng.alive.(pid));
+      halted = (fun pid -> eng.halted.(pid));
+      live = eng.live;
+      finished = eng.finished;
+    }
+
+  (* Crash-recovery (docs/FAULTS.md): a restarted processor comes back
+     with {e reset} local state — `A.init` run afresh, all knowledge
+     lost — modelling a node that lost volatile memory. Messages queued
+     to it while it was down survive (the network is a separate entity)
+     and are delivered on its next step. *)
+  let apply_restarts eng pids =
+    List.iter
+      (fun pid ->
+        if pid >= 0 && pid < eng.cfg.Config.p && not eng.alive.(pid) then begin
+          eng.alive.(pid) <- true;
+          eng.live <- eng.live + 1;
+          eng.states.(pid) <- A.init eng.cfg ~pid;
+          if eng.halted.(pid) then begin
+            (* halted-then-crashed: the halt claim died with the state *)
+            eng.halted.(pid) <- false;
+            eng.halted_count <- eng.halted_count - 1
+          end;
+          (* the fresh state knows nothing, so it no longer counts as
+             informed; step_processor re-detects it incrementally *)
+          eng.done_seen.(pid) <- false;
+          link_eligible eng pid;
+          if eng.cfg.Config.record_trace then
+            Trace.add eng.trace (Trace.Restart { time = eng.time; pid })
+        end)
+      pids
+
   let apply_crashes eng pids =
     List.iter
       (fun pid ->
@@ -190,6 +258,9 @@ module Make (A : Algorithm.S) = struct
       pids
 
   let step_processor eng pid =
+    (match eng.check with
+     | Some _ -> Oracle.check_step (oracle_view eng) ~pid
+     | None -> ());
     (* Deliver due messages, then take the local step. *)
     let st = eng.states.(pid) in
     (if eng.ins.obs_on then begin
@@ -228,10 +299,7 @@ module Make (A : Algorithm.S) = struct
        the common case), so batch by run length: per send, one compare
        and a register increment; one histogram flush per distinct run. *)
     let lat_v = ref (-1) and lat_n = ref 0 in
-    let send_one dst msg =
-      let o = oracle eng in
-      let raw = eng.adv.Adversary.delay o ~src:pid ~dst in
-      let delta = max 1 (min eng.d raw) in
+    let observe_latency delta =
       if eng.ins.obs_on then begin
         if delta = !lat_v then incr lat_n
         else begin
@@ -239,8 +307,46 @@ module Make (A : Algorithm.S) = struct
           lat_v := delta;
           lat_n := 1
         end
-      end;
-      Network.send eng.net ~src:pid ~dst ~due:(eng.time + delta) msg
+      end
+    in
+    let send_one dst msg =
+      let o = oracle eng in
+      let raw = eng.adv.Adversary.delay o ~src:pid ~dst in
+      let delta = max 1 (min eng.d raw) in
+      match eng.adv.Adversary.faults with
+      | None ->
+        (* the reliable network of the paper's model: one branch, no
+           extra RNG draws — fault-free runs stay bit-identical *)
+        observe_latency delta;
+        Network.send eng.net ~src:pid ~dst ~due:(eng.time + delta) msg
+      | Some f -> (
+        match f o ~src:pid ~dst with
+        | Adversary.Deliver ->
+          observe_latency delta;
+          Network.send eng.net ~src:pid ~dst ~due:(eng.time + delta) msg
+        | Adversary.Drop ->
+          (* the algorithm paid for the send: it counts toward M even
+             though nothing is enqueued; no latency sample (no delivery) *)
+          Network.count_lost eng.net;
+          if eng.ins.obs_on then Probe.incr eng.ins.i_drops
+        | Adversary.Duplicate n ->
+          observe_latency delta;
+          Network.send eng.net ~src:pid ~dst ~due:(eng.time + delta) msg;
+          (* replicas re-draw their latency (a resend travels a fresh
+             path) and do not count toward M — the algorithm sent once *)
+          for _ = 1 to n do
+            let raw' = eng.adv.Adversary.delay o ~src:pid ~dst in
+            let delta' = max 1 (min eng.d raw') in
+            Network.send_replica eng.net ~src:pid ~dst
+              ~due:(eng.time + delta') msg
+          done;
+          if eng.ins.obs_on then Probe.add eng.ins.i_dups (max 0 n)
+        | Adversary.Reorder j ->
+          (* extra latency on top of the adversary's delay, re-clamped
+             into [1..d] so the calendar-ring horizon still holds *)
+          let delta' = max 1 (min eng.d (delta + max 0 j)) in
+          observe_latency delta';
+          Network.send eng.net ~src:pid ~dst ~due:(eng.time + delta') msg)
     in
     (match r.Algorithm.broadcast with
      | Some msg ->
@@ -291,6 +397,11 @@ module Make (A : Algorithm.S) = struct
 
   let tick eng =
     let o = oracle eng in
+    (* restarts before crashes: a pid both restarted and re-crashed in
+       the same tick ends the tick down, but its reset is visible *)
+    (match eng.adv.Adversary.restart with
+     | None -> ()
+     | Some r -> apply_restarts eng (r o));
     apply_crashes eng (eng.adv.Adversary.crash o);
     let p = eng.cfg.Config.p in
     let active = eng.adv.Adversary.schedule o in
@@ -326,10 +437,11 @@ module Make (A : Algorithm.S) = struct
         (Probe.counter_value eng.ins.i_fresh);
       Probe.sample eng.ins.s_redundant ~time
         (Probe.counter_value eng.ins.i_redundant);
-      let inflight =
-        Probe.counter_value eng.ins.i_sends
-        - Probe.counter_value eng.ins.i_deliveries
-      in
+      (* the queue's own size, not sends - deliveries: drops never
+         enter the queue and duplicate replicas are not sends, so the
+         arithmetic lies under a faulty network; identical values on a
+         reliable one *)
+      let inflight = Network.pending eng.net in
       Probe.set eng.ins.i_inflight inflight;
       Probe.sample eng.ins.s_inflight ~time inflight
     end;
@@ -337,6 +449,9 @@ module Make (A : Algorithm.S) = struct
       eng.finished <- true;
       eng.sigma <- eng.time
     end;
+    (match eng.check with
+     | Some oc -> Oracle.check_tick oc (oracle_view eng)
+     | None -> ());
     eng.time <- eng.time + 1
 
   let run ?max_time eng =
@@ -366,21 +481,22 @@ module Make (A : Algorithm.S) = struct
   let state eng pid = eng.states.(pid)
   let trace eng = eng.trace
   let global_done eng = eng.global_done
+  let checker eng = eng.check
 end
 
-let run_packed (module A : Algorithm.S) cfg ~d ~adversary ?max_time ?probe ()
-    =
+let run_packed (module A : Algorithm.S) cfg ~d ~adversary ?max_time ?probe
+    ?check () =
   let module E = Make (A) in
-  let eng = E.create ?probe cfg ~d ~adversary in
+  let eng = E.create ?probe ?check cfg ~d ~adversary in
   E.run ?max_time eng
 
-let run_traced (module A : Algorithm.S) cfg ~d ~adversary ?max_time ?probe ()
-    =
+let run_traced (module A : Algorithm.S) cfg ~d ~adversary ?max_time ?probe
+    ?check () =
   let cfg =
     Config.make ~seed:cfg.Config.seed ~record_trace:true ~p:cfg.Config.p
       ~t:cfg.Config.t ()
   in
   let module E = Make (A) in
-  let eng = E.create ?probe cfg ~d ~adversary in
+  let eng = E.create ?probe ?check cfg ~d ~adversary in
   let m = E.run ?max_time eng in
   (m, E.trace eng)

@@ -16,6 +16,11 @@
       been performed and at least one live processor locally knows it
       (Definition 2.1). A safety cap guards against non-terminating
       combinations; hitting it is reported, never masked.
+    - Beyond the paper's model, an adversary may carry a fault policy
+      (message drop / duplication / reorder) and a restart policy
+      (crash-recovery with reset state) — see docs/FAULTS.md. Both are
+      optional fields costing one branch when absent, so the faithful
+      reliable-network mode is bit-identical to before they existed.
 
     Use {!Make} for a statically-known algorithm, or {!run_packed} with a
     first-class module (how the benchmark harness instantiates algorithm
@@ -24,7 +29,13 @@
 module Make (A : Algorithm.S) : sig
   type t
 
-  val create : ?probe:Probe.t -> Config.t -> d:int -> adversary:Adversary.t -> t
+  val create :
+    ?probe:Probe.t ->
+    ?check:bool ->
+    Config.t ->
+    d:int ->
+    adversary:Adversary.t ->
+    t
   (** Builds initial states for all [p] processors. [d >= 0]; [d = 0] is
       treated as [d = 1] (a message needs at least one time unit).
 
@@ -32,11 +43,17 @@ module Make (A : Algorithm.S) : sig
       disabled one). The engine registers its instrument catalogue —
       fresh/redundant execution counters and per-tick series, the
       in-flight message gauge/series, the delivery-latency and
-      multicast-fan-out histograms, and per-pid delayed/idle step
-      vectors (see docs/OBSERVABILITY.md) — and records into them only
-      behind a single branch per site, so a disabled or absent probe
-      leaves metrics and RNG streams bit-identical (pinned by
-      [test/test_obs.ml]). *)
+      multicast-fan-out histograms, the drop/duplicate fault counters,
+      and per-pid delayed/idle step vectors (see docs/OBSERVABILITY.md)
+      — and records into them only behind a single branch per site, so
+      a disabled or absent probe leaves metrics and RNG streams
+      bit-identical (pinned by [test/test_obs.ml]).
+
+      [?check:true] attaches the invariant oracle ({!Oracle}): every
+      tick and every step are audited and the first violated invariant
+      raises {!Oracle.Invariant_violation}. The oracle only reads, so
+      checked runs produce bit-identical metrics — the golden grid runs
+      entirely with [check:true]. *)
 
   val run : ?max_time:int -> t -> Metrics.t
   (** Runs to [sigma] or to [max_time]. The default cap is generous
@@ -50,6 +67,11 @@ module Make (A : Algorithm.S) : sig
 
   val global_done : t -> Bitset.t
   (** The engine's ledger of globally performed tasks. *)
+
+  val checker : t -> Oracle.t option
+  (** The attached invariant oracle, when created with [~check:true] —
+      lets tests assert (via {!Oracle.ticks_checked}) that auditing
+      actually happened. *)
 end
 
 val run_packed :
@@ -59,6 +81,7 @@ val run_packed :
   adversary:Adversary.t ->
   ?max_time:int ->
   ?probe:Probe.t ->
+  ?check:bool ->
   unit ->
   Metrics.t
 (** One-shot convenience around {!Make}. *)
@@ -70,6 +93,7 @@ val run_traced :
   adversary:Adversary.t ->
   ?max_time:int ->
   ?probe:Probe.t ->
+  ?check:bool ->
   unit ->
   Metrics.t * Trace.t
 (** Like {!run_packed} but also returns the trace (forces recording). *)

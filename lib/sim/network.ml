@@ -20,6 +20,14 @@ let send t ~src ~dst ~due msg =
   Event_queue.add t.queues.(dst) ~time:due (src, msg);
   t.sent <- t.sent + 1
 
+let send_replica t ~src ~dst ~due msg =
+  check_pid t src "Network.send_replica src";
+  check_pid t dst "Network.send_replica dst";
+  if src = dst then invalid_arg "Network.send_replica: self-send";
+  Event_queue.add t.queues.(dst) ~time:due (src, msg)
+
+let count_lost t = t.sent <- t.sent + 1
+
 let receive t ~dst ~now =
   check_pid t dst "Network.receive";
   Event_queue.pop_all_due t.queues.(dst) ~now

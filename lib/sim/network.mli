@@ -27,6 +27,17 @@ val send : 'msg t -> src:int -> dst:int -> due:int -> 'msg -> unit
     [src] is recorded for tracing; self-sends are rejected
     ([Invalid_argument]) — a processor already knows its own state. *)
 
+val send_replica : 'msg t -> src:int -> dst:int -> due:int -> 'msg -> unit
+(** Like {!send} but without incrementing {!sent}: a network-level copy
+    injected by a duplicating fault policy. The algorithm paid for one
+    message (Definition 2.2); the unreliable network delivering it twice
+    must not inflate [M]. *)
+
+val count_lost : 'msg t -> unit
+(** Count one send that the fault layer dropped: the algorithm paid for
+    the message, so it contributes to {!sent} ([M]) even though it is
+    never enqueued. *)
+
 val receive : 'msg t -> dst:int -> now:int -> (int * 'msg) list
 (** [(sender, message)] pairs due at or before [now], removed from the
     queue, in (due time, send order) order. *)

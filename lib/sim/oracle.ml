@@ -1,0 +1,102 @@
+type violation = {
+  time : int;
+  pid : int option;
+  invariant : string;
+  detail : string;
+}
+
+exception Invariant_violation of violation
+
+let pp_violation ppf v =
+  Format.fprintf ppf "invariant %S violated at t=%d%s: %s" v.invariant v.time
+    (match v.pid with None -> "" | Some pid -> Printf.sprintf " (pid %d)" pid)
+    v.detail
+
+let () =
+  Printexc.register_printer (function
+    | Invariant_violation v ->
+      Some (Format.asprintf "Oracle.Invariant_violation: %a" pp_violation v)
+    | _ -> None)
+
+type view = {
+  time : int;
+  p : int;
+  t : int;
+  global_done : Bitset.t;
+  local_done : int -> Bitset.t;
+  alive : int -> bool;
+  halted : int -> bool;
+  live : int;
+  finished : bool;
+}
+
+type t = {
+  (* Monotonicity watermark: |global_done| last tick. Comparing cardinals
+     suffices because tasks are only ever set, never cleared — a cleared
+     bit with an equal cardinal would require a set bit elsewhere, i.e. a
+     fresh perform, which also grows local_done ⊆ global_done checks. To
+     be airtight we keep the previous set itself. *)
+  mutable prev_done : Bitset.t;
+  mutable ticks : int;
+}
+
+let create () = { prev_done = Bitset.create 0; ticks = 0 }
+
+let fail ~time ?pid ~invariant detail =
+  raise (Invariant_violation { time; pid; invariant; detail })
+
+exception Offender of int
+
+(* First bit set in [sub] but not [super] — only on the failure path, so
+   the O(t) scan never runs in a healthy check ({!Bitset.subset} is the
+   word-at-a-time fast path). *)
+let first_offender ~sub ~super =
+  try
+    Bitset.iter_set sub (fun i -> if not (Bitset.mem super i) then raise (Offender i));
+    None
+  with Offender i -> Some i
+
+let check_subset ~time ?pid ~invariant ~sub ~super ~what ~ledger () =
+  if not (Bitset.subset sub super) then
+    let task = match first_offender ~sub ~super with Some i -> i | None -> -1 in
+    fail ~time ?pid ~invariant
+      (Printf.sprintf "%s claims task %d done but it is not in %s" what task
+         ledger)
+
+let check_tick t view =
+  t.ticks <- t.ticks + 1;
+  (* survivor: the model guarantees at least one live processor. *)
+  if view.live < 1 then
+    fail ~time:view.time ~invariant:"survivor"
+      (Printf.sprintf "no processor alive (live=%d)" view.live);
+  (* monotone-global-done: performed tasks are never un-performed. *)
+  if Bitset.length t.prev_done > 0 then
+    check_subset ~time:view.time ~invariant:"monotone-global-done"
+      ~sub:t.prev_done ~super:view.global_done ~what:"previous tick"
+      ~ledger:"the current ledger (a done task was un-done)" ();
+  t.prev_done <- Bitset.copy view.global_done;
+  (* local-within-global: knowledge may lag reality, never outrun it. *)
+  for pid = 0 to view.p - 1 do
+    check_subset ~time:view.time ~pid ~invariant:"local-within-global"
+      ~sub:(view.local_done pid) ~super:view.global_done
+      ~what:(Printf.sprintf "pid %d" pid) ~ledger:"the global ledger" ();
+    (* halted-knows-all: halting is a terminal claim of completion. *)
+    if view.halted pid && not (Bitset.is_full (view.local_done pid)) then
+      fail ~time:view.time ~pid ~invariant:"halted-knows-all"
+        (Printf.sprintf "halted with only %d/%d tasks known done"
+           (Bitset.cardinal (view.local_done pid))
+           view.t)
+  done;
+  (* termination-complete: Definition 2.1. *)
+  if view.finished && not (Bitset.is_full view.global_done) then
+    fail ~time:view.time ~invariant:"termination-complete"
+      (Printf.sprintf "run reported finished with %d/%d tasks done"
+         (Bitset.cardinal view.global_done)
+         view.t)
+
+let check_step view ~pid =
+  if not (view.alive pid) then
+    fail ~time:view.time ~pid ~invariant:"step-by-crashed"
+      "a crashed processor took a step"
+
+let ticks_checked t = t.ticks

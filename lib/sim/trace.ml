@@ -5,6 +5,7 @@ type event =
   | Broadcast of { time : int; src : int; copies : int }
   | Halt of { time : int; pid : int }
   | Crash of { time : int; pid : int }
+  | Restart of { time : int; pid : int }
   | Note of { time : int; text : string }
 
 (* Growable array in recording order: O(1) amortized add, and the
@@ -46,6 +47,7 @@ let time_of = function
   | Broadcast { time; src = _; copies = _ }
   | Halt { time; _ }
   | Crash { time; _ }
+  | Restart { time; _ }
   | Note { time; _ } -> time
 
 let timeline t ~p ~until =
@@ -56,19 +58,33 @@ let timeline t ~p ~until =
   in
   let crashed_at = Array.make p max_int in
   let halted_at = Array.make p max_int in
+  (* a restart mark survives the same-tick step that follows it: the
+     engine restarts at tick start, so the pid usually also steps at
+     that very time, and 'R' is the rarer, more informative mark *)
+  let put_unless_restart time pid c =
+    if
+      not
+        (time >= 0 && time < until && pid >= 0 && pid < p
+        && Bytes.get grid.(pid) time = 'R')
+    then put time pid c
+  in
   iter t (fun ev ->
       match ev with
       | Step { time; pid } ->
         (* only mark if no richer mark present *)
         if time < until && Bytes.get grid.(pid) time = ' ' then put time pid 'o'
-      | Perform { time; pid; _ } -> put time pid '#'
-      | Delayed { time; pid } -> put time pid '.'
+      | Perform { time; pid; _ } -> put_unless_restart time pid '#'
+      | Delayed { time; pid } -> put_unless_restart time pid '.'
       | Halt { time; pid } ->
         put time pid 'H';
         if time < halted_at.(pid) then halted_at.(pid) <- time
       | Crash { time; pid } ->
         put time pid 'X';
         if time < crashed_at.(pid) then crashed_at.(pid) <- time
+      | Restart { time; pid } ->
+        put time pid 'R';
+        (* back from the dead: stop extending the crash marker *)
+        crashed_at.(pid) <- max_int
       | Broadcast _ | Note _ -> ());
   (* Extend crash / halt markers to the right for readability. *)
   Array.iteri (fun pid row ->

@@ -17,6 +17,10 @@ type event =
       (** [src] multicast to [copies] destinations. *)
   | Halt of { time : int; pid : int }
   | Crash of { time : int; pid : int }
+  | Restart of { time : int; pid : int }
+      (** [pid] restarted after a crash with reset local state — only
+          under a beyond-the-model recovering adversary
+          ([Adversary.restart]; see docs/FAULTS.md). *)
   | Note of { time : int; text : string }
       (** free-form annotations (adversaries mark stage boundaries etc.). *)
 
@@ -43,9 +47,9 @@ val timeline : t -> p:int -> until:int -> string array
 (** [timeline tr ~p ~until] renders one row per processor over times
     [0..until-1]:
     ['#'] a step that performed a task, ['o'] a step without a task,
-    ['.'] a step withheld by the adversary, ['X'] crashed, ['H'] halted,
-    [' '] before/after activity. This is the rendering used to reproduce
-    Fig. 1 of the paper. *)
+    ['.'] a step withheld by the adversary, ['X'] crashed, ['R']
+    restarted, ['H'] halted, [' '] before/after activity. This is the
+    rendering used to reproduce Fig. 1 of the paper. *)
 
 val pp_timeline : Format.formatter -> t * int * int -> unit
 (** [pp_timeline ppf (tr, p, until)] prints the {!timeline} rows with pid

@@ -22,6 +22,7 @@ let () =
       ("recorder", Test_recorder.suite);
       ("analysis", Test_analysis.suite);
       ("runner", Test_runner.suite);
+      ("faults", Test_faults.suite);
       ("pool", Test_pool.suite);
       ("awq", Test_awq.suite);
       ("coord", Test_coord.suite);

@@ -91,7 +91,7 @@ let test_crashes_complete () =
       ("none", Crash.none);
       ("at-time", Crash.at_time ~time:2 ~pids:[ 1; 3 ]);
       ("all-but-one", Crash.all_but_one ~survivor:4 ~time:1);
-      ("poisson", Crash.poisson ~rate:0.02);
+      ("poisson", Crash.poisson ~survivor:0 ~rate:0.02);
       ("staggered", Crash.staggered ~every:3);
     ]
 
@@ -156,6 +156,75 @@ let test_lb_work_grows_with_d () =
   check (Printf.sprintf "w(d=8)=%d > w(d=1)=%d * 1.2" w8 w1) true
     (float_of_int w8 >= 1.2 *. float_of_int w1)
 
+let metrics_tuple (m : Metrics.t) =
+  ( m.Metrics.work,
+    m.Metrics.messages,
+    m.Metrics.sigma,
+    m.Metrics.executions,
+    Array.to_list m.Metrics.per_proc_work )
+
+let test_poisson_survivor_deterministic () =
+  (* rate 1.0: every pid except the survivor crashes on the very first
+     tick, before anyone steps — the survivor does all the work, every
+     time, whatever the seed. *)
+  List.iter
+    (fun seed ->
+      let m =
+        run ~seed (Crash.into ~name:"p1" (Crash.poisson ~survivor:3 ~rate:1.0))
+      in
+      check "completes" true m.Metrics.completed;
+      check_int "p-1 crashed" 7 m.Metrics.crashed;
+      check_int "survivor did all the work" m.Metrics.work
+        m.Metrics.per_proc_work.(3);
+      Array.iteri
+        (fun pid w -> if pid <> 3 then check_int "victims never stepped" 0 w)
+        m.Metrics.per_proc_work)
+    [ 0; 1; 7; 42 ];
+  (* moderate rate: same seed, same execution, bit for bit *)
+  let go () =
+    run ~seed:5
+      (Crash.into ~name:"p.3" (Crash.poisson ~survivor:0 ~rate:0.3))
+  in
+  Alcotest.(check bool)
+    "seeded poisson is reproducible" true
+    (metrics_tuple (go ()) = metrics_tuple (go ()))
+
+let test_delay_policies_clamped () =
+  (* Policies may return arbitrary latencies; the engine clamps into
+     [1..d]. With the calendar-ring queue an unclamped due time would be
+     rejected outright, so mere completion proves the clamp held. *)
+  List.iter
+    (fun (name, delay) ->
+      let m = run ~d:3 (Delay.into ~name delay) in
+      check (name ^ " completes under d=3") true m.Metrics.completed)
+    [
+      ("per-dest-huge", Delay.per_destination (fun dst -> 1000 + dst));
+      ("per-dest-zero", Delay.per_destination (fun _ -> 0));
+      ("per-dest-negative", Delay.per_destination (fun dst -> -dst));
+      ("batched-long", Delay.stage_batched ~stage_len:50);
+      ("constant-over", Delay.constant 99);
+    ]
+
+let test_structured_delays_deterministic () =
+  (* partition / per_destination / stage_batched: same seed => identical
+     run, across a few seeds (the policies are RNG-free; the clamp and
+     delivery order must be too). *)
+  List.iter
+    (fun (name, delay) ->
+      List.iter
+        (fun seed ->
+          let go () = run ~seed ~d:5 (Delay.into ~name delay) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s seed=%d reproducible" name seed)
+            true
+            (metrics_tuple (go ()) = metrics_tuple (go ())))
+        [ 0; 3; 11 ])
+    [
+      ("partition", Delay.partition ~split:4);
+      ("per-dest", Delay.per_destination (fun dst -> 1 + (dst mod 4)));
+      ("batched", Delay.stage_batched ~stage_len:3);
+    ]
+
 let test_batched_delivery_legal () =
   (* stage_batched with stage_len <= d never exceeds the bound: engine
      clamps, so completion plus work sanity suffices here; delivery
@@ -189,4 +258,10 @@ let suite =
       test_lb_work_grows_with_d;
     Alcotest.test_case "batched delivery legal" `Quick
       test_batched_delivery_legal;
+    Alcotest.test_case "poisson survivor deterministic" `Quick
+      test_poisson_survivor_deterministic;
+    Alcotest.test_case "delay policies clamped" `Quick
+      test_delay_policies_clamped;
+    Alcotest.test_case "structured delays deterministic" `Quick
+      test_structured_delays_deterministic;
   ]

@@ -43,7 +43,7 @@ let test_doc_paths_exist () =
       [ "README.md"; "DESIGN.md"; "EXPERIMENTS.md"; "docs/PAPER_MAP.md";
         "docs/MODEL.md"; "docs/ALGORITHMS.md"; "docs/LOWER_BOUNDS.md";
         "docs/CONTENTION.md"; "docs/PERFORMANCE.md";
-        "docs/OBSERVABILITY.md" ]
+        "docs/OBSERVABILITY.md"; "docs/FAULTS.md" ]
     in
     List.iter
       (fun doc ->

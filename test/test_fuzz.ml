@@ -1,7 +1,9 @@
-(* Adversary fuzzing: compose random scheduling, delay and crash policies
-   from a seed and check the system-wide invariants on every algorithm —
-   completion, no phantom knowledge, accounting identities. This is the
-   failure-injection counterpart of the hand-written adversary tests. *)
+(* Adversary fuzzing: compose random scheduling, delay, crash, restart
+   and message-fault policies from a seed and check the system-wide
+   invariants on every algorithm — completion, no phantom knowledge,
+   accounting identities — with the invariant oracle auditing every tick
+   (docs/FAULTS.md). This is the failure-injection counterpart of the
+   hand-written adversary tests. *)
 
 open Doall_sim
 open Doall_core
@@ -22,9 +24,16 @@ let build_adversary rng ~p ~quorum_safe =
       Schedule.harmonic_speeds;
     ]
   in
+  (* crash-recovery churn resets local progress, so completion rests
+     entirely on the never-crashed survivor — which adaptive_laggard is
+     free to starve forever (each other processor then loses its state
+     before accumulating t tasks: a livelock that is the adversary's
+     fault, not the algorithm's). Restart runs therefore draw from the
+     starvation-free schedules only. *)
+  let use_restart = (not quorum_safe) && Rng.int rng 10 < 3 in
   let schedule =
     pickl
-      (if quorum_safe then starvation_free
+      (if quorum_safe || use_restart then starvation_free
        else Schedule.adaptive_laggard :: starvation_free)
   in
   let delay =
@@ -39,32 +48,76 @@ let build_adversary rng ~p ~quorum_safe =
         Delay.per_destination (fun dst -> 1 + (dst mod 4));
       ]
   in
-  let crash =
+  let crash, restart =
     if quorum_safe then
       (* lose strictly less than half: quorums stay viable *)
       let victims = List.init (max 0 (((p + 1) / 2) - 1)) (fun i -> i * 2) in
-      pickl
-        [
-          Crash.none;
-          Crash.at_time ~time:(Rng.int rng 40) ~pids:victims;
-        ]
+      ( pickl
+          [
+            Crash.none;
+            Crash.at_time ~time:(Rng.int rng 40) ~pids:victims;
+          ],
+        None )
+    else if use_restart then
+      (* crash-recovery: revive rules are paired only with
+         survivor-preserving crash patterns, so every run keeps one
+         processor that never goes down (the engine's survivor rule
+         is then an invariant, not luck) *)
+      (match Rng.int rng 2 with
+       | 0 ->
+         let crash, revive =
+           Crash.flaky ~survivor:0 ~up:(1 + Rng.int rng 8)
+             ~down:(1 + Rng.int rng 4) ()
+         in
+         (crash, Some revive)
+       | _ ->
+         ( Crash.poisson ~survivor:0 ~rate:(0.005 +. Rng.float rng 0.05),
+           Some (Crash.restart_after ~delay:(1 + Rng.int rng 6)) ))
+    else
+      ( pickl
+          [
+            Crash.none;
+            Crash.at_time ~time:(Rng.int rng 40)
+              ~pids:(List.init (Rng.int rng p) Fun.id);
+            Crash.poisson ~rate:0.01;
+            Crash.staggered ~every:(1 + Rng.int rng 10);
+          ],
+        None )
+  in
+  let faults =
+    (* quorum algorithms honestly need delivery: lossy networks can
+       stall their memory emulation forever, so faults stay off the
+       quorum-safe arm (see Runner.algo_spec.liveness) *)
+    if quorum_safe then None
     else
       pickl
         [
-          Crash.none;
-          Crash.at_time ~time:(Rng.int rng 40)
-            ~pids:(List.init (Rng.int rng p) Fun.id);
-          Crash.poisson ~rate:0.01;
-          Crash.staggered ~every:(1 + Rng.int rng 10);
+          None;
+          Some (Fault.drop ~prob:(Rng.float rng 1.0));
+          Some Fault.drop_all;
+          Some
+            (Fault.duplicate ~copies:(1 + Rng.int rng 3)
+               ~prob:(Rng.float rng 0.5));
+          Some (Fault.reorder ~prob:(Rng.float rng 1.0));
+          Some
+            (Fault.all
+               [
+                 Fault.drop ~prob:(Rng.float rng 0.4);
+                 Fault.duplicate ~copies:1 ~prob:(Rng.float rng 0.3);
+                 Fault.reorder ~prob:(Rng.float rng 0.4);
+               ]);
         ]
   in
-  Schedule.combine ~name:"fuzz" ~schedule ~delay ~crash ()
+  Schedule.combine ~name:"fuzz" ~schedule ~delay ~crash ?faults ?restart ()
 
 let audit_run (module A : Algorithm.S) ~p ~t ~d ~adversary ~seed =
   let module E = Engine.Make (A) in
   let cfg = Config.make ~seed ~p ~t () in
-  let eng = E.create cfg ~d ~adversary in
-  let m = E.run eng in
+  let eng = E.create ~check:true cfg ~d ~adversary in
+  match E.run eng with
+  | exception Oracle.Invariant_violation v ->
+    Error (Format.asprintf "oracle: %a" Oracle.pp_violation v)
+  | m ->
   let global = E.global_done eng in
   if not m.Metrics.completed then Error "did not complete"
   else if not (Bitset.is_full global) then Error "unperformed tasks"
@@ -89,6 +142,14 @@ let fuzz_property ~quorum_safe maker (seed : int) =
   match audit_run (maker ()) ~p ~t ~d ~adversary ~seed with
   | Ok _ -> true
   | Error e ->
+    (* the seed alone rebuilds the whole run (dimensions, policies,
+       engine streams): print a copy-pasteable reproducer before the
+       QCheck report *)
+    Printf.eprintf
+      "fuzz reproducer: fuzz_property ~quorum_safe:%b maker %d  (p=%d t=%d \
+       d=%d): %s\n\
+       %!"
+      quorum_safe seed p t d e;
     QCheck2.Test.fail_reportf "p=%d t=%d d=%d seed=%d: %s" p t d seed e
 
 let fuzz_test ~name ~quorum_safe maker =
