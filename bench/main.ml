@@ -1,17 +1,23 @@
-(* The experiment harness: one experiment per theorem/figure of the paper
-   (see DESIGN.md section 4 and EXPERIMENTS.md for the paper-vs-measured
-   record). Run all with `dune exec bench/main.exe`, or a subset with
-   e.g. `dune exec bench/main.exe -- e2 e6 fig1`, or `micro` for the
-   Bechamel microbenchmarks. *)
+(* The experiment harness driver. The experiments themselves (one per
+   theorem/figure of the paper — see EXPERIMENTS.md) are declarative
+   specs in lib/exp/catalog.ml, shared with `doall exp`; this executable
+   only dispatches ids and keeps the wall-clock work that has no place
+   in the registry: the perf grid behind BENCH_N.json, the Bechamel
+   microbenchmarks, and the probe-overhead measurement.
+
+   Run all experiments with `dune exec bench/main.exe`, a subset with
+   e.g. `dune exec bench/main.exe -- e2 e6 fig1`, or `micro` / `perf` /
+   `obs` for the performance targets. `--list` shows every registered
+   experiment with its one-line doc. *)
 
 open Doall_sim
 open Doall_core
 open Doall_perms
 open Doall_analysis
+module Exp = Doall_exp.Exp
+module Catalog = Doall_exp.Catalog
 module Json = Doall_obs.Export.Json
 module Progress = Doall_obs.Progress
-
-let wf = float_of_int
 
 (* Parallelism for the grid-shaped experiments (seed averaging, e17's
    bound-fitting sweep, the perf grid). One pool for the whole process,
@@ -27,22 +33,9 @@ let shared_pool () =
     pool_ref := Some pool;
     pool
 
-let work_of ?(seed = 1) ~algo ~adv ~p ~t ~d () =
-  (Runner.run ~seed ~algo ~adv ~p ~t ~d ()).Runner.metrics
-
-let mean_work ?(seeds = [ 1; 2; 3; 4; 5 ]) ~algo ~adv ~p ~t ~d () =
-  fst
-    (Runner.average_work ~seeds ~pool:(shared_pool ()) ~algo ~adv ~p ~t ~d ())
-
-(* Run a packed algorithm (for variants not in the registry). *)
-let run_packed ?(seed = 1) algo ~adv ~p ~t ~d =
-  let adversary = (Runner.find_adv adv).Runner.instantiate ~p ~t ~d in
-  let cfg = Config.make ~seed ~p ~t () in
-  Engine.run_packed algo cfg ~d ~adversary ()
-
-(* Live grid progress for the longer experiments: Progress only renders
-   on a tty, so batch/CI output is untouched. [f] receives an [on_cell]
-   callback for Runner.run_grid. *)
+(* Live grid progress for the perf arms: Progress only renders on a tty,
+   so batch/CI output is untouched. [f] receives an [on_cell] callback
+   for Runner.run_grid. *)
 let with_progress ~label ~total f =
   let pr = Progress.create ~total ~label () in
   Fun.protect
@@ -51,1092 +44,15 @@ let with_progress ~label ~total f =
       f (fun ~finished:_ ~total:_ (_ : Runner.result) -> Progress.tick pr))
 
 (* With --csv DIR on the command line, every table is also written as a
-   CSV artifact for downstream analysis. *)
+   CSV artifact for downstream analysis, under a stable name. *)
 let csv_dir : string option ref = ref None
 
-let table_counter = ref 0
-
-let emit tbl =
+let emit_named name tbl =
   Table.print tbl;
-  incr table_counter;
   match !csv_dir with
   | None -> ()
   | Some dir ->
-    let path = Filename.concat dir (Printf.sprintf "table-%02d.csv" !table_counter) in
-    Table.write_csv tbl ~path
-
-(* ------------------------------------------------------------------ *)
-(* E1. Proposition 2.2: the quadratic wall at d = Theta(t).            *)
-
-let e1 () =
-  let p = 16 and t = 96 in
-  let algos = [ "trivial"; "da-q4"; "paran1"; "padet" ] in
-  let tbl =
-    Table.create
-      ~title:
-        (Printf.sprintf
-           "E1 (Prop 2.2): work under max-delay, p=%d t=%d (oblivious pt=%d)"
-           p t (p * t))
-      ~columns:("d" :: List.concat_map (fun a -> [ a; a ^ "/pt" ]) algos)
-  in
-  List.iter
-    (fun d ->
-      let cells =
-        List.concat_map
-          (fun algo ->
-            let m = work_of ~algo ~adv:"max-delay" ~p ~t ~d () in
-            [
-              Table.cell_int m.Metrics.work;
-              Table.cell_ratio (wf m.Metrics.work) (wf (p * t));
-            ])
-          algos
-      in
-      Table.add_row tbl (Table.cell_int d :: cells))
-    [ 1; 8; 24; 48; 96 ];
-  Table.add_note tbl
-    "expected shape: coordinated algorithms approach the oblivious p*t as d \
-     approaches t; trivial is flat at 1.00";
-  emit tbl;
-  let series =
-    List.map
-      (fun algo ->
-        {
-          Plot.label = algo;
-          points =
-            List.map
-              (fun d ->
-                let m = work_of ~algo ~adv:"max-delay" ~p ~t ~d () in
-                (wf d, wf m.Metrics.work))
-              [ 1; 2; 4; 8; 16; 24; 48; 96 ];
-        })
-      algos
-  in
-  print_string
-    (Plot.render ~logx:true ~logy:true
-       ~title:"work vs d (log-log); the wall at d = t is the flattening"
-       series)
-
-(* ------------------------------------------------------------------ *)
-(* E2. Theorem 3.1: deterministic lower-bound adversary.               *)
-
-let e2 () =
-  let p = 64 and t = 64 in
-  let tbl =
-    Table.create
-      ~title:
-        (Printf.sprintf
-           "E2 (Thm 3.1): work forced by the stage adversary, p=t=%d" p)
-      ~columns:
-        [ "d"; "da-q2"; "da-q4"; "padet"; "LB(p,t,d)"; "da-q4/LB"; "stages" ]
-  in
-  List.iter
-    (fun d ->
-      let stagecount = ref 0 in
-      let run algo =
-        let adv = Doall_adversary.Lb_deterministic.create () in
-        let cfg = Config.make ~seed:1 ~p ~t () in
-        let m =
-          Engine.run_packed
-            ((Runner.find_algo algo).Runner.make ())
-            cfg ~d ~adversary:adv ()
-        in
-        stagecount :=
-          List.length (Doall_adversary.Lb_deterministic.stages_of adv);
-        m.Metrics.work
-      in
-      let w2 = run "da-q2" in
-      let w4 = run "da-q4" in
-      let wd = run "padet" in
-      let lb = Bounds.lower_bound ~p ~t ~d in
-      Table.add_row tbl
-        [
-          Table.cell_int d;
-          Table.cell_int w2;
-          Table.cell_int w4;
-          Table.cell_int wd;
-          Table.cell_float lb;
-          Table.cell_ratio (wf w4) lb;
-          Table.cell_int !stagecount;
-        ])
-    [ 1; 2; 4; 8 ];
-  Table.add_note tbl
-    "expected shape: forced work grows with d and tracks \
-     t + p*min(d,t)*log_{d+1}(d+t) within a constant";
-  emit tbl
-
-(* ------------------------------------------------------------------ *)
-(* E3. Theorem 3.4: randomized online adversary; Fig. 1 rendering.     *)
-
-let e3 () =
-  let p = 64 and t = 64 in
-  let tbl =
-    Table.create
-      ~title:
-        (Printf.sprintf
-           "E3 (Thm 3.4): expected work under the online adversary, p=t=%d" p)
-      ~columns:[ "d"; "paran1 (coverage)"; "paran2 (random J_s)"; "LB(p,t,d)" ]
-  in
-  List.iter
-    (fun d ->
-      let mean algo adv =
-        mean_work ~seeds:[ 1; 2; 3 ] ~algo ~adv ~p ~t ~d ()
-      in
-      Table.add_row tbl
-        [
-          Table.cell_int d;
-          Table.cell_float (mean "paran1" "lb-rand");
-          Table.cell_float (mean "paran2" "lb-rand-random");
-          Table.cell_float (Bounds.lower_bound ~p ~t ~d);
-        ])
-    [ 1; 2; 4; 8 ];
-  Table.add_note tbl
-    "expected shape: expected work grows with d like the lower bound";
-  emit tbl;
-  (* The combinatorial pillar of Theorem 3.4, machine-checked: Lemma 3.2's
-     binomial-ratio bound on every (u, d) pair up to 2000. *)
-  (match Lemma32.first_counterexample ~u_max:2000 with
-   | None ->
-     print_endline
-       "Lemma 3.2 verified numerically: C(u-d,k)/C(u,k) >= 1/4 and the \
-        proof's sandwich hold for all u <= 2000, 1 <= d <= sqrt u"
-   | Some (u, d) ->
-     Printf.printf "Lemma 3.2 COUNTEREXAMPLE at u=%d d=%d (ratio %.4f)\n" u d
-       (Lemma32.ratio ~u ~d))
-
-let fig1 () =
-  (* The paper's Fig. 1: five processors, d = 5; the online adversary
-     delays a processor the moment it selects a J_s task. *)
-  let p = 5 and t = 30 and d = 5 in
-  let result, trace =
-    Runner.run_traced ~seed:3 ~algo:"paran1" ~adv:"lb-rand" ~p ~t ~d ()
-  in
-  Printf.printf
-    "== Fig. 1: online adversary on PaRan1, p=%d t=%d d=%d ==\n" p t d;
-  Format.printf "%a@." Metrics.pp result.Runner.metrics;
-  let until = min 72 (result.Runner.metrics.Metrics.sigma + 1) in
-  Format.printf "%a" Trace.pp_timeline (trace, p, until);
-  print_endline
-    "legend: # performs a task, o bookkeeping, . delayed by adversary (the \
-     moment it selected a J_s task), H halt";
-  Trace.iter trace (function
-    | Trace.Note { time; text } -> Printf.printf "  note t=%d: %s\n" time text
-    | _ -> ())
-
-(* ------------------------------------------------------------------ *)
-(* E4. Lemma 4.1: low-contention lists by search.                      *)
-
-let e4 () =
-  let rng = Rng.create 2024 in
-  let tbl =
-    Table.create ~title:"E4 (Lemma 4.1): contention of n-permutation lists"
-      ~columns:
-        [ "n"; "Cont(searched)"; "3nH_n"; "Cont(random)"; "Cont(identity)=n^2" ]
-  in
-  List.iter
-    (fun n ->
-      let cert = Search.certified ~rng n in
-      let random_cont =
-        Contention.contention_exact (Gen.random_list ~rng ~n ~count:n)
-      in
-      Table.add_row tbl
-        [
-          Table.cell_int n;
-          Table.cell_int cert.Search.contention;
-          Table.cell_float cert.Search.bound;
-          Table.cell_int random_cont;
-          Table.cell_int (n * n);
-        ])
-    [ 2; 3; 4; 5; 6; 7 ];
-  Table.add_note tbl
-    "3nH_n exceeds n^2 for n <= 10, so the certificate is loose here; the \
-     point is searched < random < identity, and exactness of the Cont \
-     computation";
-  emit tbl
-
-(* ------------------------------------------------------------------ *)
-(* E5. Theorem 4.4 / Corollary 4.5: d-contention of random lists.      *)
-
-let e5 () =
-  let n = 48 in
-  let rng = Rng.create 7 in
-  let psi = Gen.random_list ~rng ~n ~count:n in
-  let tbl =
-    Table.create
-      ~title:
-        (Printf.sprintf
-           "E5 (Thm 4.4): d-contention of a random list, n=p=%d" n)
-      ~columns:[ "d"; "(d)-Cont estimate"; "n ln n + 8pd ln(e+n/d)"; "ratio" ]
-  in
-  List.iter
-    (fun d ->
-      let est =
-        Contention.d_contention_estimate ~restarts:2 ~samples:24 ~rng ~d psi
-      in
-      let bound = Contention.bound_theorem_4_4 ~n ~p:n ~d in
-      Table.add_row tbl
-        [
-          Table.cell_int d;
-          Table.cell_int est;
-          Table.cell_float bound;
-          Table.cell_ratio (wf est) bound;
-        ])
-    [ 1; 2; 4; 8; 16 ];
-  Table.add_note tbl
-    "estimate lower-bounds the true max over rho; staying well under the \
-     bound confirms the w.h.p. statement";
-  emit tbl;
-  (* (b) concentration: the w.h.p. statement over many random lists *)
-  let n2 = 32 in
-  let lists = 40 in
-  let tbl2 =
-    Table.create
-      ~title:
-        (Printf.sprintf
-           "E5b (Thm 4.4): concentration over %d random lists, n=p=%d" lists
-           n2)
-      ~columns:[ "d"; "mean est/bound"; "max est/bound"; "lists over bound" ]
-  in
-  List.iter
-    (fun d ->
-      let bound = Contention.bound_theorem_4_4 ~n:n2 ~p:n2 ~d in
-      let fractions =
-        List.map
-          (fun i ->
-            let rng_i = Rng.create (1000 + i) in
-            let psi_i = Gen.random_list ~rng:rng_i ~n:n2 ~count:n2 in
-            let est =
-              Contention.d_contention_estimate ~restarts:1 ~samples:12
-                ~rng:rng_i ~d psi_i
-            in
-            wf est /. bound)
-          (List.init lists Fun.id)
-      in
-      let mean =
-        List.fold_left ( +. ) 0.0 fractions /. wf lists
-      in
-      let worst = List.fold_left Float.max 0.0 fractions in
-      let over = List.length (List.filter (fun f -> f > 1.0) fractions) in
-      Table.add_row tbl2
-        [
-          Table.cell_int d;
-          Table.cell_float ~decimals:3 mean;
-          Table.cell_float ~decimals:3 worst;
-          Table.cell_int over;
-        ])
-    [ 1; 4; 16 ];
-  Table.add_note tbl2
-    "w.h.p. means the over-bound count should be 0, and it is; the \
-     distribution sits tightly around 1/5 of the bound";
-  emit tbl2
-
-(* ------------------------------------------------------------------ *)
-(* E6. Theorems 5.4/5.5: DA(q) upper bound sweeps.                     *)
-
-let e6 () =
-  (* (a) d sweep. The proof's eps(q) = log_q(4 log q) exceeds 1 for the
-     small q we can instantiate (the theorem's q grows like
-     2^(log(1/e)/e)); we compare against the bound's *shape* at the
-     empirically achieved exponent (~0.3, see the E6b fits below). *)
-  let p = 32 and t = 256 in
-  let q = 4 in
-  let eps = 0.3 in
-  let tbl =
-    Table.create
-      ~title:
-        (Printf.sprintf
-           "E6a (Thm 5.5): DA(%d) work vs bound shape, p=%d t=%d (eps=%.2f \
-            empirical; proof eps(q)=%.2f)"
-           q p t eps (Bounds.epsilon_of_q ~q))
-      ~columns:[ "d"; "work"; "t*p^e + p*min(t,d)*ceil(t/d)^e"; "ratio" ]
-  in
-  List.iter
-    (fun d ->
-      let m = work_of ~algo:"da-q4" ~adv:"max-delay" ~p ~t ~d () in
-      let ub = Bounds.da_upper ~p ~t ~d ~epsilon:eps in
-      Table.add_row tbl
-        [
-          Table.cell_int d;
-          Table.cell_int m.Metrics.work;
-          Table.cell_float ub;
-          Table.cell_ratio (wf m.Metrics.work) ub;
-        ])
-    [ 1; 4; 16; 64; 256 ];
-  Table.add_note tbl "expected shape: ratio bounded by a constant across d";
-  emit tbl;
-  (* (b) p sweep: empirical exponent of W in p *)
-  let t = 256 and d = 4 in
-  let tbl2 =
-    Table.create
-      ~title:
-        (Printf.sprintf "E6b: DA work scaling in p (t=%d d=%d, max-delay)" t d)
-      ~columns:[ "p"; "da-q2"; "da-q4"; "da-q8" ]
-  in
-  let points = Hashtbl.create 16 in
-  List.iter
-    (fun p ->
-      let row =
-        List.map
-          (fun q ->
-            let algo = Printf.sprintf "da-q%d" q in
-            let m = work_of ~algo ~adv:"max-delay" ~p ~t ~d () in
-            Hashtbl.replace points (q, p) m.Metrics.work;
-            Table.cell_int m.Metrics.work)
-          [ 2; 4; 8 ]
-      in
-      Table.add_row tbl2 (Table.cell_int p :: row))
-    [ 4; 8; 16; 32; 64 ];
-  List.iter
-    (fun q ->
-      let pairs =
-        List.map
-          (fun p -> (wf p, wf (Hashtbl.find points (q, p))))
-          [ 4; 8; 16; 32; 64 ]
-      in
-      let fit = Stats.loglog_fit pairs in
-      Table.add_note tbl2
-        (Printf.sprintf
-           "q=%d: empirical exponent of W in p = %.2f (r2=%.2f); paper \
-            predicts a small epsilon plus the additive p*d term" q
-           fit.Stats.slope fit.Stats.r2))
-    [ 2; 4; 8 ];
-  emit tbl2;
-  (* (c) t sweep: W should be near-linear in t *)
-  let p = 32 and d = 4 in
-  let tbl3 =
-    Table.create
-      ~title:(Printf.sprintf "E6c: DA(4) work scaling in t (p=%d d=%d)" p d)
-      ~columns:[ "t"; "work"; "work/t" ]
-  in
-  let pairs = ref [] in
-  List.iter
-    (fun t ->
-      let m = work_of ~algo:"da-q4" ~adv:"max-delay" ~p ~t ~d () in
-      pairs := (wf t, wf m.Metrics.work) :: !pairs;
-      Table.add_row tbl3
-        [
-          Table.cell_int t;
-          Table.cell_int m.Metrics.work;
-          Table.cell_ratio (wf m.Metrics.work) (wf t);
-        ])
-    [ 64; 128; 256; 512; 1024 ];
-  let fit = Stats.loglog_fit !pairs in
-  Table.add_note tbl3
-    (Printf.sprintf
-       "empirical exponent of W in t = %.2f (r2=%.2f); bound predicts ~1"
-       fit.Stats.slope fit.Stats.r2);
-  emit tbl3
-
-(* ------------------------------------------------------------------ *)
-(* E7. Theorem 5.6: DA message complexity M = O(pW).                   *)
-
-let e7 () =
-  let tbl =
-    Table.create ~title:"E7 (Thm 5.6): DA message complexity, M/(p*W) <= 1"
-      ~columns:[ "q"; "adv"; "W"; "M"; "M/(p*W)" ]
-  in
-  let p = 16 and t = 64 and d = 4 in
-  List.iter
-    (fun q ->
-      List.iter
-        (fun adv ->
-          let m =
-            work_of ~algo:(Printf.sprintf "da-q%d" q) ~adv ~p ~t ~d ()
-          in
-          Table.add_row tbl
-            [
-              Table.cell_int q;
-              adv;
-              Table.cell_int m.Metrics.work;
-              Table.cell_int m.Metrics.messages;
-              Table.cell_ratio (wf m.Metrics.messages)
-                (wf (p * m.Metrics.work));
-            ])
-        [ "fair"; "max-delay" ])
-    [ 2; 4; 6; 8 ];
-  Table.add_note tbl
-    "DA broadcasts only on node completions, so the measured ratio sits \
-     well below the p*W ceiling";
-  emit tbl
-
-(* ------------------------------------------------------------------ *)
-(* E8. Theorem 6.2: PaRan1/PaRan2 expected work.                       *)
-
-let e8 () =
-  let p = 64 and t = 64 in
-  let tbl =
-    Table.create
-      ~title:
-        (Printf.sprintf
-           "E8 (Thm 6.2): randomized PA expected work, p=t=%d (max-delay)" p)
-      ~columns:
-        [
-          "d"; "EW paran1"; "ci95"; "EW paran2"; "t log p + p d log(2+t/d)";
-          "ran1/bound";
-        ]
-  in
-  let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
-  List.iter
-    (fun d ->
-      let works algo =
-        List.map
-          (fun seed ->
-            wf (work_of ~seed ~algo ~adv:"max-delay" ~p ~t ~d ()).Metrics.work)
-          seeds
-      in
-      let s1 = Stats.summarize (works "paran1") in
-      let s2 = Stats.summarize (works "paran2") in
-      let ub = Bounds.pa_upper ~p ~t ~d in
-      Table.add_row tbl
-        [
-          Table.cell_int d;
-          Table.cell_float s1.Stats.mean;
-          Printf.sprintf "+-%.0f" s1.Stats.ci95;
-          Table.cell_float s2.Stats.mean;
-          Table.cell_float ub;
-          Table.cell_ratio s1.Stats.mean ub;
-        ])
-    [ 1; 2; 4; 8; 16; 32 ];
-  Table.add_note tbl "expected shape: ratio bounded by a constant across d";
-  emit tbl;
-  (* p sweep at large t *)
-  let t = 256 and d = 8 in
-  let tbl2 =
-    Table.create
-      ~title:(Printf.sprintf "E8b: PaRan1 scaling in p (t=%d d=%d)" t d)
-      ~columns:[ "p"; "EW"; "bound"; "ratio" ]
-  in
-  List.iter
-    (fun p ->
-      let w =
-        mean_work ~seeds:[ 1; 2; 3 ] ~algo:"paran1" ~adv:"max-delay" ~p ~t ~d
-          ()
-      in
-      let ub = Bounds.pa_upper ~p ~t ~d in
-      Table.add_row tbl2
-        [
-          Table.cell_int p;
-          Table.cell_float w;
-          Table.cell_float ub;
-          Table.cell_ratio w ub;
-        ])
-    [ 4; 8; 16; 32; 64 ];
-  emit tbl2
-
-(* ------------------------------------------------------------------ *)
-(* E9. Theorem 6.3 / Corollary 6.5: PaDet + schedule-quality ablation. *)
-
-let e9 () =
-  let p = 48 and t = 48 in
-  let n = min p t in
-  (* (a) schedule quality: certified/seeded list vs the worst list. *)
-  let tbl =
-    Table.create
-      ~title:
-        (Printf.sprintf
-           "E9a (Cor 6.5): PaDet schedule quality, p=t=%d (max-delay)" p)
-      ~columns:[ "d"; "padet"; "padet-identity-list"; "bound" ]
-  in
-  let identity_psi = Gen.identity_list ~n ~count:p in
-  List.iter
-    (fun d ->
-      let w_good =
-        (run_packed (Algo_pa.make_det ()) ~adv:"max-delay" ~p ~t ~d)
-          .Metrics.work
-      in
-      let w_bad =
-        (run_packed
-           (Algo_pa.make_det ~psi:identity_psi ())
-           ~adv:"max-delay" ~p ~t ~d)
-          .Metrics.work
-      in
-      Table.add_row tbl
-        [
-          Table.cell_int d;
-          Table.cell_int w_good;
-          Table.cell_int w_bad;
-          Table.cell_float (Bounds.pa_upper ~p ~t ~d);
-        ])
-    [ 1; 2; 4; 8; 16 ];
-  Table.add_note tbl
-    "the identity list has worst-case contention p*n (every processor \
-     shares one schedule), and indeed pays ~p*t regardless of d";
-  emit tbl;
-  (* (b) gossip granularity: full knowledge sets vs single-task
-     announcements. Needs a schedule where third-party relay matters —
-     under all-to-all lockstep the two coincide, so we use random
-     per-unit step subsets with uniform delays. *)
-  let tbl2 =
-    Table.create
-      ~title:
-        (Printf.sprintf
-           "E9b: gossip granularity ablation, p=t=%d (random-half)" p)
-      ~columns:[ "d"; "padet (full sets)"; "padet (single task)" ]
-  in
-  List.iter
-    (fun d ->
-      let w_full =
-        (run_packed (Algo_pa.make_det ()) ~adv:"random-half" ~p ~t ~d)
-          .Metrics.work
-      in
-      let w_single =
-        (run_packed
-           (Algo_pa.make_det ~gossip:`Single ())
-           ~adv:"random-half" ~p ~t ~d)
-          .Metrics.work
-      in
-      Table.add_row tbl2
-        [ Table.cell_int d; Table.cell_int w_full; Table.cell_int w_single ])
-    [ 2; 4; 8; 16 ];
-  Table.add_note tbl2
-    "full knowledge sets (the paper's model, load-bearing in Lemma 6.1) \
-     propagate third-party news; single-task gossip loses it and pays \
-     more work as d grows";
-  emit tbl2
-
-(* ------------------------------------------------------------------ *)
-(* E10. Head-to-head and the DA q ablation.                            *)
-
-let e10 () =
-  let p = 48 and t = 48 in
-  let algos = [ "trivial"; "da-q2"; "da-q4"; "paran1"; "paran2"; "padet" ] in
-  let tbl =
-    Table.create
-      ~title:
-        (Printf.sprintf
-           "E10: head-to-head work under max-delay, p=t=%d (winner starred)" p)
-      ~columns:("d" :: algos)
-  in
-  List.iter
-    (fun d ->
-      let results =
-        List.map
-          (fun algo ->
-            let w =
-              if algo = "paran1" || algo = "paran2" then
-                int_of_float
-                  (mean_work ~seeds:[ 1; 2; 3 ] ~algo ~adv:"max-delay" ~p ~t
-                     ~d ())
-              else (work_of ~algo ~adv:"max-delay" ~p ~t ~d ()).Metrics.work
-            in
-            (algo, w))
-          algos
-      in
-      let best =
-        List.fold_left (fun acc (_, w) -> min acc w) max_int results
-      in
-      let cells =
-        List.map
-          (fun (_, w) ->
-            if w = best then Table.cell_int w ^ "*" else Table.cell_int w)
-          results
-      in
-      Table.add_row tbl (Table.cell_int d :: cells))
-    [ 1; 4; 16; 48 ];
-  Table.add_note tbl
-    "expected crossover: coordinated algorithms win while d = o(t); at d = t \
-     the oblivious baseline is no longer beaten by much (Prop 2.2)";
-  emit tbl;
-  (* q ablation *)
-  let p = 64 and t = 64 in
-  let tbl2 =
-    Table.create
-      ~title:(Printf.sprintf "E10b: DA(q) ablation, p=t=%d (max-delay)" p)
-      ~columns:[ "q"; "W at d=1"; "W at d=16" ]
-  in
-  List.iter
-    (fun q ->
-      let algo = Printf.sprintf "da-q%d" q in
-      let w1 = (work_of ~algo ~adv:"max-delay" ~p ~t ~d:1 ()).Metrics.work in
-      let w16 =
-        (work_of ~algo ~adv:"max-delay" ~p ~t ~d:16 ()).Metrics.work
-      in
-      Table.add_row tbl2
-        [ Table.cell_int q; Table.cell_int w1; Table.cell_int w16 ])
-    [ 2; 3; 4; 5; 6; 7; 8 ];
-  Table.add_note tbl2
-    "the q knob trades traversal depth (helps small d) against fan-out \
-     redundancy (hurts large d) - the epsilon trade-off of Thm 5.4";
-  emit tbl2
-
-(* ------------------------------------------------------------------ *)
-(* E11. Lemma 4.2: ObliDo primary executions vs contention.            *)
-
-let e11 () =
-  let rng = Rng.create 91 in
-  let tbl =
-    Table.create
-      ~title:"E11 (Lemma 4.2): ObliDo primary executions <= Cont(psi)"
-      ~columns:
-        [ "n"; "Cont(psi)"; "max primaries (40 interleavings)"; "bound holds" ]
-  in
-  List.iter
-    (fun n ->
-      let psi = Gen.random_list ~rng ~n ~count:n in
-      let cont = Contention.contention_exact psi in
-      let worst = ref 0 in
-      for _ = 1 to 39 do
-        let prob = 0.15 +. Rng.float rng 0.8 in
-        let rounds = Oblido.random_rounds ~rng ~n ~count:n ~prob in
-        let stats = Oblido.replay ~psi ~rounds in
-        worst := max !worst stats.Oblido.primary
-      done;
-      let stats =
-        Oblido.replay ~psi ~rounds:(Oblido.adversarial_rounds ~psi)
-      in
-      worst := max !worst stats.Oblido.primary;
-      Table.add_row tbl
-        [
-          Table.cell_int n;
-          Table.cell_int cont;
-          Table.cell_int !worst;
-          (if !worst <= cont then "yes" else "NO");
-        ])
-    [ 3; 4; 5; 6; 7 ];
-  emit tbl
-
-(* ------------------------------------------------------------------ *)
-(* E12. Proposition 2.1: premature halting breaks Do-All.              *)
-
-module Bad_early_halt : Algorithm.S = struct
-  (* Deliberately broken: processors share the identity schedule and halt
-     one task early. Every processor performs 0..t-2 and stops; task t-1
-     is never performed, so the run cannot complete (Prop 2.1: in the
-     paper's unbounded-work sense; here the engine's honest time cap
-     reports the non-termination). *)
-  let name = "bad-early-halt"
-
-  type state = { t : int; know : Bitset.t; mutable halted : bool }
-  type msg = Bitset.t
-
-  let init (cfg : Config.t) ~pid:_ =
-    { t = cfg.Config.t; know = Bitset.create cfg.Config.t; halted = false }
-
-  let copy st = { st with know = Bitset.copy st.know }
-  let receive st ~src:_ msg = Bitset.union_into ~dst:st.know msg
-  let is_done st = Bitset.is_full st.know
-  let done_tasks st = st.know
-
-  let step st =
-    if st.halted then Algorithm.nothing
-    else if Bitset.cardinal st.know >= st.t - 1 then begin
-      (* halts while one task may still be unperformed *)
-      st.halted <- true;
-      Algorithm.nothing
-    end
-    else
-      match Bitset.first_missing st.know with
-      | Some z ->
-        Bitset.set st.know z;
-        Algorithm.result ~performed:z ~broadcast:(Bitset.copy st.know) ()
-      | None -> Algorithm.nothing
-end
-
-let e12 () =
-  let p = 4 and t = 12 and d = 2 in
-  let cfg = Config.make ~seed:1 ~p ~t () in
-  let m =
-    Engine.run_packed
-      (module Bad_early_halt)
-      cfg ~d ~adversary:Adversary.fair ~max_time:2000 ()
-  in
-  Printf.printf "== E12 (Prop 2.1): halting before knowing completion ==\n";
-  Printf.printf
-    "bad-early-halt: completed=%b executions=%d (task %d never performed; \
-     work would grow unboundedly, the harness caps at time %d)\n"
-    m.Metrics.completed m.Metrics.executions (t - 1) m.Metrics.sigma;
-  let good = work_of ~algo:"padet" ~adv:"fair" ~p ~t ~d () in
-  Printf.printf "padet (halts only when informed): completed=%b work=%d\n\n"
-    good.Metrics.completed good.Metrics.work
-
-(* ------------------------------------------------------------------ *)
-(* E13. Section 1.1: direct message passing vs quorum emulation.       *)
-
-let e13 () =
-  let p = 16 and t = 64 in
-  let tbl =
-    Table.create
-      ~title:
-        (Printf.sprintf
-           "E13 (Sec 1.1): DA(4) vs quorum-emulated AW(4), p=%d t=%d \
-            (max-delay)"
-           p t)
-      ~columns:
-        [ "d"; "da-q4 W"; "awq-q4 W"; "awq-abd W"; "awq/da"; "abd/awq" ]
-  in
-  List.iter
-    (fun d ->
-      let da = work_of ~algo:"da-q4" ~adv:"max-delay" ~p ~t ~d () in
-      let awq =
-        run_packed (Doall_quorum.Algo_awq.make ~q:4 ()) ~adv:"max-delay" ~p
-          ~t ~d
-      in
-      let abd =
-        run_packed
-          (Doall_quorum.Algo_awq.make ~q:4 ~protocol:`Abd ())
-          ~adv:"max-delay" ~p ~t ~d
-      in
-      Table.add_row tbl
-        [
-          Table.cell_int d;
-          Table.cell_int da.Metrics.work;
-          Table.cell_int awq.Metrics.work;
-          Table.cell_int abd.Metrics.work;
-          Table.cell_ratio (wf awq.Metrics.work) (wf da.Metrics.work);
-          Table.cell_ratio (wf abd.Metrics.work) (wf awq.Metrics.work);
-        ])
-    [ 1; 2; 4; 8; 16; 32 ];
-  Table.add_note tbl
-    "every emulated memory operation waits ~d steps for a quorum, so the \
-     emulation's work grows much faster in d than DA's (the paper: \
-     subquadratic only while delays are O(K)); the full two-phase ABD \
-     protocol of the general constructions [3,18] doubles the per-op \
-     round trips, and the measured ~2x confirms the monotone single-phase \
-     optimization is what keeps even the emulation competitive";
-  emit tbl;
-  (* the liveness caveat: quorum damage *)
-  let run_crash algo label =
-    let adversary =
-      (Runner.find_adv "crash-all-but-one").Runner.instantiate ~p ~t ~d:2
-    in
-    let cfg = Config.make ~seed:1 ~p ~t () in
-    let m = Engine.run_packed algo cfg ~d:2 ~adversary ~max_time:20_000 () in
-    Printf.printf "  %-8s under crash-all-but-one: completed=%b work=%d\n"
-      label m.Metrics.completed m.Metrics.work
-  in
-  print_endline
-    "quorum-damage caveat (crashes leave 1 < majority processors):";
-  run_crash ((Runner.find_algo "da-q4").Runner.make ()) "da-q4";
-  run_crash (Doall_quorum.Algo_awq.make ~q:4 ()) "awq-q4";
-  print_endline
-    "  (AWQ burns work forever without solving Do-All - the paper's \
-     'quorums disabled by failures' failure mode)"
-
-(* ------------------------------------------------------------------ *)
-(* E14 (extension): trading messages for work by throttling broadcasts. *)
-
-let e14 () =
-  let p = 48 and t = 48 in
-  List.iter
-    (fun d ->
-      let tbl =
-        Table.create
-          ~title:
-            (Printf.sprintf
-               "E14 (extension, Sec 7 open problem): PaDet broadcast \
-                throttling, p=t=%d d=%d (max-delay)"
-               p d)
-          ~columns:[ "broadcast every"; "W"; "M"; "effort W+M" ]
-      in
-      List.iter
-        (fun k ->
-          let m =
-            run_packed
-              (Algo_pa.make_det ~broadcast_every:k ())
-              ~adv:"max-delay" ~p ~t ~d
-          in
-          Table.add_row tbl
-            [
-              Table.cell_int k;
-              Table.cell_int m.Metrics.work;
-              Table.cell_int m.Metrics.messages;
-              Table.cell_int (Metrics.effort m);
-            ])
-        [ 1; 2; 4; 8; 16 ];
-      Table.add_note tbl
-        "k divides M by ~k while W rises slowly: the effort-minimizing k \
-         is interior - evidence for the paper's open problem that W and M \
-         can be balanced";
-      emit tbl)
-    [ 2; 8 ]
-
-(* ------------------------------------------------------------------ *)
-(* E15. Intro claim: synchronous-style techniques do not adapt.        *)
-
-let e15 () =
-  let p = 16 and t = 96 in
-  let tbl =
-    Table.create
-      ~title:
-        (Printf.sprintf
-           "E15 (Sec 1.1 intro): synchronous-style coordinator vs \
-            delay-sensitive algorithms, p=%d t=%d (max-delay)"
-           p t)
-      ~columns:
-        [ "d"; "coord W"; "coord M"; "da-q4 W"; "da-q4 M"; "padet W";
-          "padet M" ]
-  in
-  List.iter
-    (fun d ->
-      let c = work_of ~algo:"coord" ~adv:"max-delay" ~p ~t ~d () in
-      let a = work_of ~algo:"da-q4" ~adv:"max-delay" ~p ~t ~d () in
-      let g = work_of ~algo:"padet" ~adv:"max-delay" ~p ~t ~d () in
-      Table.add_row tbl
-        [
-          Table.cell_int d;
-          Table.cell_int c.Metrics.work;
-          Table.cell_int c.Metrics.messages;
-          Table.cell_int a.Metrics.work;
-          Table.cell_int a.Metrics.messages;
-          Table.cell_int g.Metrics.work;
-          Table.cell_int g.Metrics.messages;
-        ])
-    [ 1; 2; 4; 8; 16; 32; 96 ];
-  Table.add_note tbl
-    "the coordinator's fixed timeouts make it superbly frugal when the \
-     network matches its synchrony assumption (small d) and wasteful once \
-     d exceeds the timeout: suspicion is always wrong, epochs thrash, and \
-     the uncoordinated fallback does the work - the intro's 'not clear how \
-     to adapt' claim, measured";
-  emit tbl
-
-(* ------------------------------------------------------------------ *)
-(* E16 (extension): gossip fanout instead of full broadcast.           *)
-
-let e16 () =
-  let p = 48 and t = 48 and d = 4 in
-  let tbl =
-    Table.create
-      ~title:
-        (Printf.sprintf
-           "E16 (extension, cf. [12]): PaRan1 gossip fanout, p=t=%d d=%d \
-            (uniform-delay, mean of 5 seeds)"
-           p d)
-      ~columns:[ "fanout"; "EW"; "EM"; "effort" ]
-  in
-  let mean_of f seeds =
-    List.fold_left (fun acc s -> acc +. f s) 0.0 seeds
-    /. wf (List.length seeds)
-  in
-  List.iter
-    (fun fanout ->
-      let runs =
-        List.map
-          (fun seed ->
-            run_packed ~seed
-              (Algo_pa.make_ran1 ?fanout ())
-              ~adv:"uniform-delay" ~p ~t ~d)
-          [ 1; 2; 3; 4; 5 ]
-      in
-      let ew = mean_of (fun m -> wf m.Metrics.work) runs in
-      let em = mean_of (fun m -> wf m.Metrics.messages) runs in
-      Table.add_row tbl
-        [
-          (match fanout with None -> "all (p-1)" | Some k -> Table.cell_int k);
-          Table.cell_float ew;
-          Table.cell_float em;
-          Table.cell_float (ew +. em);
-        ])
-    [ Some 1; Some 2; Some 4; Some 8; Some 16; None ];
-  Table.add_note tbl
-    "random gossip to k recipients: messages scale with k while work decays \
-     slowly - small fanouts already realize most of the coordination value";
-  emit tbl
-
-(* ------------------------------------------------------------------ *)
-(* E17. Model selection: which theorem explains each algorithm?        *)
-
-let e17 () =
-  let p = 48 and t = 48 in
-  let ds = [ 1; 2; 4; 8; 16; 32; 48 ] in
-  let algos = [ "trivial"; "da-q4"; "paran1"; "padet"; "coord" ] in
-  (* The whole sweep as one flat grid fanned across the shared pool:
-     deterministic algorithms contribute one cell (seed 1) per delay,
-     randomized ones the mean of seeds 1-3. *)
-  let seeds_for algo =
-    if (Runner.find_algo algo).Runner.deterministic then [ 1 ] else [ 1; 2; 3 ]
-  in
-  let specs =
-    List.concat_map
-      (fun algo ->
-        List.concat_map
-          (fun d ->
-            List.map
-              (fun seed ->
-                Runner.spec ~seed ~algo ~adv:"max-delay" ~p ~t ~d ())
-              (seeds_for algo))
-          ds)
-      algos
-  in
-  let results =
-    with_progress ~label:"e17 grid" ~total:(List.length specs) (fun on_cell ->
-        Runner.run_grid ~pool:(shared_pool ()) ~on_cell specs)
-  in
-  let works : (string * int, float list) Hashtbl.t = Hashtbl.create 64 in
-  List.iter2
-    (fun (s : Runner.run_spec) (r : Runner.result) ->
-      let key = (s.Runner.spec_algo, s.Runner.d) in
-      let prev = Option.value ~default:[] (Hashtbl.find_opt works key) in
-      Hashtbl.replace works key (wf r.Runner.metrics.Metrics.work :: prev))
-    specs results;
-  let mean_at algo d =
-    let ws = Hashtbl.find works (algo, d) in
-    List.fold_left ( +. ) 0.0 ws /. wf (List.length ws)
-  in
-  let tbl =
-    Table.create
-      ~title:
-        (Printf.sprintf
-           "E17: best-fitting bound shape per algorithm, work-vs-d sweep, \
-            p=t=%d (max-delay)"
-           p)
-      ~columns:[ "algorithm"; "best model"; "r2"; "runner-up"; "r2 " ]
-  in
-  List.iter
-    (fun algo ->
-      let points = List.map (fun d -> (d, mean_at algo d)) ds in
-      match Fit.rank ~p ~t points with
-      | first :: second :: _ ->
-        Table.add_row tbl
-          [
-            algo;
-            first.Fit.model.Fit.model_name;
-            Table.cell_float ~decimals:3 first.Fit.r2;
-            second.Fit.model.Fit.model_name;
-            Table.cell_float ~decimals:3 second.Fit.r2;
-          ]
-      | _ -> assert false)
-    algos;
-  Table.add_note tbl
-    "expected: trivial flat (constant shapes fit exactly); DA/PA best \
-     explained by the delay-sensitive shapes at r2 ~0.99 (lower bound / \
-     pa upper / linear p*d are near-collinear at p=t); coord fits \
-     nothing well (r2 markedly lower) - its timeout cliff follows no \
-     delay-sensitive bound, which is the point of E15";
-  emit tbl
-
-(* ------------------------------------------------------------------ *)
-(* E18. The three worlds: shared memory, message passing, emulation.   *)
-
-let e18 () =
-  let p = 16 and t = 64 in
-  let shm = Doall_sharedmem.Write_all.run ~q:4 ~p ~t () in
-  let tbl =
-    Table.create
-      ~title:
-        (Printf.sprintf
-           "E18 (Sec 1.1): one algorithm, three worlds - AW(4) in shared \
-            memory vs DA(4) vs quorum emulations, p=%d t=%d"
-           p t)
-      ~columns:[ "d"; "AW shm"; "DA msg"; "AWQ"; "AWQ-ABD" ]
-  in
-  List.iter
-    (fun d ->
-      let da = work_of ~algo:"da-q4" ~adv:"max-delay" ~p ~t ~d () in
-      let awq =
-        run_packed (Doall_quorum.Algo_awq.make ~q:4 ()) ~adv:"max-delay" ~p
-          ~t ~d
-      in
-      let abd =
-        run_packed
-          (Doall_quorum.Algo_awq.make ~q:4 ~protocol:`Abd ())
-          ~adv:"max-delay" ~p ~t ~d
-      in
-      Table.add_row tbl
-        [
-          Table.cell_int d;
-          Table.cell_int shm.Doall_sharedmem.Write_all.work;
-          Table.cell_int da.Metrics.work;
-          Table.cell_int awq.Metrics.work;
-          Table.cell_int abd.Metrics.work;
-        ])
-    [ 1; 4; 16; 64 ];
-  Table.add_note tbl
-    "the shared-memory original has no d: its column is constant. DA \
-     beats it at tiny d (multicasts PUSH progress; shared memory must \
-     PULL by reading) but pays a delay-sensitive premium as d grows \
-     (Thm 5.5); the emulations pay ~d per memory operation on top of \
-     that.";
-  emit tbl;
-  (* and the asynchrony-only degradation of the original, for context *)
-  let tbl2 =
-    Table.create
-      ~title:"E18b: AW(4) shared-memory work under schedule adversaries"
-      ~columns:[ "schedule"; "work"; "redundant" ]
-  in
-  List.iter
-    (fun (name, schedule) ->
-      let m = Doall_sharedmem.Write_all.run ~q:4 ~p ~t ~schedule () in
-      Table.add_row tbl2
-        [
-          name;
-          Table.cell_int m.Doall_sharedmem.Write_all.work;
-          Table.cell_int (Doall_sharedmem.Write_all.redundant m);
-        ])
-    [
-      ("fair (all step)", Doall_sharedmem.Write_all.fair);
-      ("rotating width 4", Doall_sharedmem.Write_all.rotating ~width:4);
-      ("random half", Doall_sharedmem.Write_all.random_subset ~seed:3 ~prob:0.5);
-      ("solo", Doall_sharedmem.Write_all.solo 0);
-    ];
-  Table.add_note tbl2
-    "pure scheduling adversity barely moves AW's work - with atomic \
-     shared state, progress knowledge is never stale; staleness is \
-     exactly what message delay buys the adversary in the other worlds";
-  emit tbl2
-
-(* ------------------------------------------------------------------ *)
-(* E19. Graceful degradation: work vs message-loss rate.
-
-   Outside the paper's model (its network never loses messages), so
-   there is no theorem to pin — the claim under test is docs/FAULTS.md's:
-   every algorithm stays live at any loss rate, and work degrades
-   monotonically toward the oblivious p*t wall as the gossip channel
-   closes. At 100% loss the cooperative algorithms ARE the trivial
-   algorithm with postage. *)
-
-let e19 () =
-  let p = 16 and t = 64 and d = 4 in
-  let algos = [ "paran1"; "padet"; "da-q4" ] in
-  let seeds = [ 1; 2; 3 ] in
-  let tbl =
-    Table.create
-      ~title:
-        (Printf.sprintf
-           "E19 (docs/FAULTS.md): mean work vs message-loss rate, max-delay, \
-            p=%d t=%d d=%d (oblivious pt=%d)"
-           p t d (p * t))
-      ~columns:
-        ("loss" :: List.concat_map (fun a -> [ a; a ^ "/pt" ]) algos)
-  in
-  let mean_work_at ~algo rate =
-    (* rate 0.0 passes no policy at all, so the baseline row is the
-       reliable network bit-for-bit (the fault branch draws no RNG when
-       absent); checked runs keep the oracle on the whole sweep *)
-    let faults =
-      if rate > 0.0 then Some (Doall_adversary.Fault.drop ~prob:rate)
-      else None
-    in
-    let sum =
-      List.fold_left
-        (fun acc seed ->
-          let m =
-            (Runner.run ~seed ?faults ~check:true ~algo ~adv:"max-delay" ~p
-               ~t ~d ())
-              .Runner.metrics
-          in
-          acc + m.Metrics.work)
-        0 seeds
-    in
-    wf sum /. wf (List.length seeds)
-  in
-  List.iter
-    (fun rate ->
-      let cells =
-        List.concat_map
-          (fun algo ->
-            let w = mean_work_at ~algo rate in
-            [ Table.cell_float w; Table.cell_ratio w (wf (p * t)) ])
-          algos
-      in
-      Table.add_row tbl (Table.cell_float ~decimals:2 rate :: cells))
-    [ 0.0; 0.25; 0.5; 0.75; 0.9; 1.0 ];
-  Table.add_note tbl
-    "expected shape: work rises monotonically with loss and saturates at \
-     the oblivious p*t wall (ratio ~1) once no gossip survives — DA(q) \
-     lands slightly above it because unacknowledged coordinators keep \
-     re-executing their phase; no run ever hangs: liveness never depended \
-     on delivery (solo fallback)";
-  emit tbl
+    Table.write_csv tbl ~path:(Filename.concat dir (name ^ ".csv"))
 
 (* ------------------------------------------------------------------ *)
 (* perf: the wall-clock grid behind BENCH_N.json (see docs/PERFORMANCE.md).
@@ -1231,7 +147,7 @@ let perf ~quick ~out () =
     "seed_s: same scenario on the pre-calendar-ring/pre-word-packed engine \
      (commit b5fef56); wall-clock is machine-dependent, the W/M columns are \
      not (golden-pinned)";
-  emit tbl;
+  emit_named "perf-scenarios" tbl;
   (* -- the parallel grid -- *)
   let specs =
     List.concat_map
@@ -1309,7 +225,7 @@ let perf ~quick ~out () =
         container's calibration."
        !jobs
        (Pool.default_jobs ()) rounds);
-  emit grid_tbl;
+  emit_named "perf-grid" grid_tbl;
   List.iter
     (fun (_, _, identical) ->
       if not identical then begin
@@ -1644,29 +560,21 @@ let obs_overhead ~quick () =
 
 (* ------------------------------------------------------------------ *)
 
-let experiments =
-  [
-    ("e1", e1);
-    ("e2", e2);
-    ("e3", e3);
-    ("fig1", fig1);
-    ("e4", e4);
-    ("e5", e5);
-    ("e6", e6);
-    ("e7", e7);
-    ("e8", e8);
-    ("e9", e9);
-    ("e10", e10);
-    ("e11", e11);
-    ("e12", e12);
-    ("e13", e13);
-    ("e14", e14);
-    ("e15", e15);
-    ("e16", e16);
-    ("e17", e17);
-    ("e18", e18);
-    ("e19", e19);
-  ]
+let list_experiments () =
+  List.iter
+    (fun e -> Printf.printf "%-5s %s\n" e.Exp.id (Exp.one_liner e))
+    (Exp.all ());
+  print_string "micro  Bechamel microbenchmarks (bitsets, event queues, engine cells)\n";
+  print_string "perf   wall-clock grid + parallel-grid speedup, writes BENCH_N.json\n";
+  print_string "obs    probe overhead on the paper-scale cell (target < 5%)\n"
+
+let unknown id =
+  Printf.eprintf "unknown experiment %S; known experiments:\n" id;
+  List.iter
+    (fun e -> Printf.eprintf "  %-5s %s\n" e.Exp.id (Exp.one_liner e))
+    (Exp.all ());
+  Printf.eprintf "  micro, perf, obs (performance targets)\n";
+  exit 2
 
 let () =
   (* Stop-the-world minor collections serialize the domain pool: with the
@@ -1677,9 +585,11 @@ let () =
      GC (docs/PERFORMANCE.md has the calibration). *)
   Gc.set { (Gc.get ()) with Gc.minor_heap_size = 2 * 1024 * 1024 };
   Doall_quorum.Register.install ();
+  Catalog.install ();
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = ref false in
   let perf_out = ref "BENCH_2.json" in
+  let list_only = ref false in
   let rec strip_flags acc = function
     | "--csv" :: dir :: rest ->
       (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
@@ -1687,6 +597,9 @@ let () =
       strip_flags acc rest
     | "--quick" :: rest ->
       quick := true;
+      strip_flags acc rest
+    | "--list" :: rest ->
+      list_only := true;
       strip_flags acc rest
     | "--out" :: path :: rest ->
       perf_out := path;
@@ -1702,24 +615,23 @@ let () =
     | [] -> List.rev acc
   in
   let args = strip_flags [] args in
-  let requested =
-    match args with
-    | [] | [ "all" ] -> List.map fst experiments
-    | args -> args
-  in
-  List.iter
-    (fun id ->
-      if id = "micro" then micro ()
-      else if id = "perf" then perf ~quick:!quick ~out:!perf_out ()
-      else if id = "obs" then obs_overhead ~quick:!quick ()
-      else
-        match List.assoc_opt id experiments with
-        | Some run ->
-          run ();
-          print_newline ()
-        | None ->
-          Printf.eprintf
-            "unknown experiment %S (known: %s, micro, perf, obs)\n" id
-            (String.concat ", " (List.map fst experiments));
-          exit 2)
-    requested
+  if !list_only then list_experiments ()
+  else begin
+    let requested =
+      match args with
+      | [] | [ "all" ] -> Exp.ids ()
+      | args -> args
+    in
+    List.iter
+      (fun id ->
+        if id = "micro" then micro ()
+        else if id = "perf" then perf ~quick:!quick ~out:!perf_out ()
+        else if id = "obs" then obs_overhead ~quick:!quick ()
+        else
+          match Exp.find id with
+          | Some e ->
+            Exp.run ~pool:(shared_pool ()) ?csv_dir:!csv_dir ~progress:true e;
+            print_newline ()
+          | None -> unknown id)
+      requested
+  end

@@ -9,6 +9,8 @@
      doall run --algo da-q4 --adv fair --faults drop=0.5,dup=0.2x2 --check
      doall trace --algo paran1 --adv fair -p 4 -t 16 --jsonl -
      doall sweep --algo padet --adv max-delay -p 32 -t 256 --delays 1,4,16,64
+     doall exp list
+     doall exp run e1 e19 --jobs 2 --csv out/ --jsonl results.jsonl
      doall contention -n 6 --count 6 *)
 
 open Cmdliner
@@ -16,6 +18,9 @@ open Doall_core
 open Doall_analysis
 module Export = Doall_obs.Export
 module Progress = Doall_obs.Progress
+module Exp = Doall_exp.Exp
+module Ctx = Doall_exp.Ctx
+module Catalog = Doall_exp.Catalog
 
 let pos_int ~what v =
   if v <= 0 then `Error (Printf.sprintf "%s must be positive" what) else `Ok v
@@ -81,11 +86,13 @@ let max_time_arg =
                its partial metrics and exits nonzero instead of \
                pretending to be data.")
 
+(* Returns the policy with its normalized name, which doubles as the
+   memo-cache tag for the experiment contexts. *)
 let parse_faults = function
   | None -> None
   | Some spec -> (
     match Doall_adversary.Fault.of_spec spec with
-    | Ok (policy, _name) -> Some policy
+    | Ok (policy, name) -> Some (name, policy)
     | Error msg ->
       prerr_endline ("doall: --faults: " ^ msg);
       exit 2)
@@ -109,15 +116,6 @@ let result_meta (r : Runner.result) p t d =
       ("seed", Int r.Runner.seed);
       ("wall_s", Float r.Runner.wall_s);
     ]
-
-(* on_cell callback driving a progress meter; the runner serializes
-   invocations, so [tick] needs no extra locking. *)
-let progress_callback ~enabled ~total ~label =
-  if not enabled then (None, fun ~finished:_ ~total:_ _ -> ())
-  else begin
-    let pr = Progress.create ~total ~label () in
-    (Some pr, fun ~finished:_ ~total:_ (_ : Runner.result) -> Progress.tick pr)
-  end
 
 (* ------------------------------------------------------------------ *)
 
@@ -143,7 +141,7 @@ let run_cmd =
     match (pos_int ~what:"p" p, pos_int ~what:"t" t) with
     | `Error e, _ | _, `Error e -> prerr_endline e; exit 2
     | `Ok p, `Ok t ->
-      let faults = parse_faults faults_spec in
+      let faults = Option.map snd (parse_faults faults_spec) in
       (try
          if trace then begin
            let result, tr =
@@ -234,43 +232,51 @@ let sweep_cmd =
   let doc = "Sweep the delay bound and tabulate work/messages." in
   let run algo adv p t delays seed jobs progress check faults_spec =
     let faults = parse_faults faults_spec in
-    let tbl =
-      Table.create ~title:(Printf.sprintf "%s vs %s, p=%d t=%d" algo adv p t)
-        ~columns:[ "d"; "work"; "messages"; "sigma"; "redundant";
-                   "lower-bound"; "W/LB"; "wall_s" ]
+    (* An anonymous spec through the same engine as the registered
+       experiments: the context supplies the pool, the memo cache (one d
+       requested twice simulates once), and the output sinks. *)
+    let e =
+      Exp.make
+        ~id:(Printf.sprintf "sweep-%s-%s" algo adv)
+        ~doc:"ad-hoc delay sweep" ~anchor:"CLI"
+        ~axes:
+          (Exp.axes ~algos:[ algo ] ~advs:[ adv ]
+             ~points:(List.map (fun d -> (p, t, d)) delays)
+             ~seeds:[ seed ] ())
+        ~tables:[ "main" ]
+        (fun ctx ->
+          let tbl =
+            Table.create
+              ~title:(Printf.sprintf "%s vs %s, p=%d t=%d" algo adv p t)
+              ~columns:[ "d"; "work"; "messages"; "sigma"; "redundant";
+                         "lower-bound"; "W/LB"; "wall_s" ]
+          in
+          let specs =
+            List.map (fun d -> Runner.spec ~seed ~algo ~adv ~p ~t ~d ()) delays
+          in
+          let results = Ctx.grid ctx ~check ?faults specs in
+          List.iter2
+            (fun d (r : Runner.result) ->
+              let m = r.Runner.metrics in
+              let lb = Bounds.lower_bound ~p ~t ~d in
+              Table.add_row tbl
+                [
+                  Table.cell_int d;
+                  Table.cell_int m.Doall_sim.Metrics.work;
+                  Table.cell_int m.Doall_sim.Metrics.messages;
+                  Table.cell_int m.Doall_sim.Metrics.sigma;
+                  Table.cell_int (Doall_sim.Metrics.redundant m);
+                  Table.cell_float lb;
+                  Table.cell_ratio (float_of_int m.Doall_sim.Metrics.work) lb;
+                  Printf.sprintf "%.3f" r.Runner.wall_s;
+                ])
+            delays results;
+          Table.add_note tbl
+            "wall_s is per-cell wall-clock (machine-dependent; every other \
+             column is deterministic)";
+          Ctx.emit ctx ~name:"main" tbl)
     in
-    let specs =
-      List.map (fun d -> Runner.spec ~seed ~algo ~adv ~p ~t ~d ()) delays
-    in
-    let meter, on_cell =
-      progress_callback ~enabled:progress ~total:(List.length specs)
-        ~label:(Printf.sprintf "sweep %s/%s" algo adv)
-    in
-    let results =
-      Fun.protect
-        ~finally:(fun () -> Option.iter Progress.finish meter)
-        (fun () -> Runner.run_grid ~jobs ~check ?faults ~on_cell specs)
-    in
-    List.iter2
-      (fun d (r : Runner.result) ->
-        let m = r.Runner.metrics in
-        let lb = Bounds.lower_bound ~p ~t ~d in
-        Table.add_row tbl
-          [
-            Table.cell_int d;
-            Table.cell_int m.Doall_sim.Metrics.work;
-            Table.cell_int m.Doall_sim.Metrics.messages;
-            Table.cell_int m.Doall_sim.Metrics.sigma;
-            Table.cell_int (Doall_sim.Metrics.redundant m);
-            Table.cell_float lb;
-            Table.cell_ratio (float_of_int m.Doall_sim.Metrics.work) lb;
-            Printf.sprintf "%.3f" r.Runner.wall_s;
-          ])
-      delays results;
-    Table.add_note tbl
-      "wall_s is per-cell wall-clock (machine-dependent; every other \
-       column is deterministic)";
-    Table.print tbl
+    Exp.run ~jobs ~progress e
   in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(const run $ algo_arg $ adv_arg $ p_arg $ t_arg $ delays_arg
@@ -285,47 +291,143 @@ let compare_cmd =
   in
   let run algos adv p t d seed jobs progress check faults_spec =
     let faults = parse_faults faults_spec in
-    let tbl =
-      Table.create
-        ~title:(Printf.sprintf "comparison vs %s, p=%d t=%d d=%d" adv p t d)
-        ~columns:
-          [ "algorithm"; "work"; "messages"; "effort"; "sigma"; "redundant" ]
+    let e =
+      Exp.make ~id:(Printf.sprintf "compare-%s" adv)
+        ~doc:"ad-hoc algorithm comparison" ~anchor:"CLI"
+        ~axes:
+          (Exp.axes ~algos ~advs:[ adv ] ~points:[ (p, t, d) ] ~seeds:[ seed ]
+             ())
+        ~tables:[ "main" ]
+        (fun ctx ->
+          let tbl =
+            Table.create
+              ~title:
+                (Printf.sprintf "comparison vs %s, p=%d t=%d d=%d" adv p t d)
+              ~columns:
+                [ "algorithm"; "work"; "messages"; "effort"; "sigma";
+                  "redundant" ]
+          in
+          let specs =
+            List.map
+              (fun algo -> Runner.spec ~seed ~algo ~adv ~p ~t ~d ())
+              algos
+          in
+          let results = Ctx.grid ctx ~check ?faults specs in
+          List.iter2
+            (fun algo (r : Runner.result) ->
+              let m = r.Runner.metrics in
+              Table.add_row tbl
+                [
+                  algo;
+                  Table.cell_int m.Doall_sim.Metrics.work;
+                  Table.cell_int m.Doall_sim.Metrics.messages;
+                  Table.cell_int (Doall_sim.Metrics.effort m);
+                  Table.cell_int m.Doall_sim.Metrics.sigma;
+                  Table.cell_int (Doall_sim.Metrics.redundant m);
+                ])
+            algos results;
+          Table.add_note tbl
+            (Printf.sprintf
+               "oblivious baseline p*t = %d; delay-sensitive lower \
+                bound = %.0f"
+               (p * t)
+               (Bounds.lower_bound ~p ~t ~d));
+          Ctx.emit ctx ~name:"main" tbl)
     in
-    let specs =
-      List.map (fun algo -> Runner.spec ~seed ~algo ~adv ~p ~t ~d ()) algos
-    in
-    let meter, on_cell =
-      progress_callback ~enabled:progress ~total:(List.length specs)
-        ~label:(Printf.sprintf "compare vs %s" adv)
-    in
-    let results =
-      Fun.protect
-        ~finally:(fun () -> Option.iter Progress.finish meter)
-        (fun () -> Runner.run_grid ~jobs ~check ?faults ~on_cell specs)
-    in
-    List.iter2
-      (fun algo (r : Runner.result) ->
-        let m = r.Runner.metrics in
-        Table.add_row tbl
-          [
-            algo;
-            Table.cell_int m.Doall_sim.Metrics.work;
-            Table.cell_int m.Doall_sim.Metrics.messages;
-            Table.cell_int (Doall_sim.Metrics.effort m);
-            Table.cell_int m.Doall_sim.Metrics.sigma;
-            Table.cell_int (Doall_sim.Metrics.redundant m);
-          ])
-      algos results;
-    Table.add_note tbl
-      (Printf.sprintf "oblivious baseline p*t = %d; delay-sensitive lower \
-                       bound = %.0f"
-         (p * t)
-         (Bounds.lower_bound ~p ~t ~d));
-    Table.print tbl
+    Exp.run ~jobs ~progress e
   in
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(const run $ algos_arg $ adv_arg $ p_arg $ t_arg $ d_arg $ seed_arg
           $ jobs_arg $ progress_arg $ check_arg $ faults_arg)
+
+(* ------------------------------------------------------------------ *)
+(* The experiment registry: the same specs `bench` runs, surfaced on the
+   CLI. `list` and `describe` read the declarative metadata; `run`
+   executes bodies through the lib/exp engine (pool parallelism, cell
+   memo cache, --csv / --jsonl sinks). *)
+
+let exp_ids_arg =
+  Arg.(value & pos_all string []
+       & info [] ~docv:"ID"
+           ~doc:"Experiment ids (see $(b,doall exp list)); default all.")
+
+let unknown_exp id =
+  Printf.eprintf "doall: unknown experiment %S; known experiments:\n" id;
+  List.iter
+    (fun e -> Printf.eprintf "  %-5s %s\n" e.Exp.id (Exp.one_liner e))
+    (Exp.all ());
+  exit 2
+
+let resolve_exps = function
+  | [] -> Exp.all ()
+  | ids ->
+    List.map
+      (fun id ->
+        match Exp.find id with Some e -> e | None -> unknown_exp id)
+      ids
+
+let exp_list_cmd =
+  let doc = "List registered experiments with their one-line docs." in
+  let run () =
+    List.iter
+      (fun e -> Printf.printf "%-5s %s\n" e.Exp.id (Exp.one_liner e))
+      (Exp.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let exp_describe_cmd =
+  let doc = "Show an experiment's declarative spec (axes, tables, CSVs)." in
+  let run ids =
+    List.iteri
+      (fun i e ->
+        if i > 0 then print_newline ();
+        print_string (Exp.describe e))
+      (resolve_exps ids)
+  in
+  Cmd.v (Cmd.info "describe" ~doc) Term.(const run $ exp_ids_arg)
+
+let exp_run_cmd =
+  let doc = "Run experiments through the declarative engine." in
+  let csv_arg =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR"
+           ~doc:"Also write every table as $(docv)/<exp>-<table>.csv \
+                 (stable names; the directory is created if needed).")
+  in
+  let jsonl_arg =
+    Arg.(value & opt (some string) None & info [ "jsonl" ] ~docv:"FILE"
+           ~doc:"Append versioned table/row JSONL lines to $(docv) \
+                 ('-' for stdout); schema in docs/OBSERVABILITY.md.")
+  in
+  let run ids jobs csv jsonl progress =
+    let es = resolve_exps ids in
+    Option.iter
+      (fun dir -> try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+      csv;
+    (* One pool shared by every requested experiment; each gets a fresh
+       context (the memo cache is per-experiment by design). *)
+    let pool = Doall_sim.Pool.create ~jobs () in
+    Fun.protect
+      ~finally:(fun () -> Doall_sim.Pool.shutdown pool)
+      (fun () ->
+        let run_all jsonl_oc =
+          List.iter
+            (fun e ->
+              Exp.run ~pool ?csv_dir:csv ?jsonl:jsonl_oc ~progress e;
+              print_newline ())
+            es
+        in
+        match jsonl with
+        | None -> run_all None
+        | Some path -> Export.with_out path (fun oc -> run_all (Some oc)))
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ exp_ids_arg $ jobs_arg $ csv_arg $ jsonl_arg
+          $ progress_arg)
+
+let exp_cmd =
+  let doc = "Inspect and run the declarative experiment registry." in
+  Cmd.group (Cmd.info "exp" ~doc)
+    [ exp_list_cmd; exp_describe_cmd; exp_run_cmd ]
 
 let lemma32_cmd =
   let doc = "Numerically verify Lemma 3.2 (Appendix A) over a range of u." in
@@ -394,8 +496,8 @@ let contention_cmd =
 let main =
   let doc = "message-delay-sensitive Do-All algorithms (Kowalski-Shvartsman)" in
   Cmd.group (Cmd.info "doall" ~doc)
-    [ list_cmd; run_cmd; trace_cmd; sweep_cmd; compare_cmd; contention_cmd;
-      lemma32_cmd ]
+    [ list_cmd; run_cmd; trace_cmd; sweep_cmd; compare_cmd; exp_cmd;
+      contention_cmd; lemma32_cmd ]
 
 let () =
   (* Multicore grids stall on stop-the-world minor collections with the
@@ -403,4 +505,5 @@ let () =
      --jobs scales (docs/PERFORMANCE.md has the calibration). *)
   Gc.set { (Gc.get ()) with Gc.minor_heap_size = 2 * 1024 * 1024 };
   Doall_quorum.Register.install ();
+  Catalog.install ();
   exit (Cmd.eval main)

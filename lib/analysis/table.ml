@@ -13,6 +13,10 @@ let add_row t row =
   t.rows <- row :: t.rows
 
 let add_note t note = t.notes <- note :: t.notes
+let title t = t.title
+let columns t = t.columns
+let rows t = List.rev t.rows
+let notes t = List.rev t.notes
 
 let render t =
   let rows = List.rev t.rows in

@@ -9,6 +9,14 @@ val add_row : t -> string list -> unit
 val add_note : t -> string -> unit
 (** Free-text line printed under the table. *)
 
+(** Accessors (rows and notes in insertion order) — used by the
+    structured exporters in [lib/obs]. *)
+
+val title : t -> string
+val columns : t -> string list
+val rows : t -> string list list
+val notes : t -> string list
+
 val render : t -> string
 (** Title, header, separator, aligned rows, notes. *)
 

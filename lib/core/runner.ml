@@ -352,10 +352,18 @@ let overlay ?faults adversary =
   | None -> adversary
   | Some f -> Adversary.with_faults f adversary
 
+(* Process-wide count of engine runs started through the runner — atomic
+   because grid cells execute in pool worker domains. The experiment
+   subsystem's dedup tests pin deltas of this counter to prove each cell
+   simulates exactly once. *)
+let sims = Atomic.make 0
+let sim_count () = Atomic.get sims
+
 (* Like [run] but reports a capped run through [metrics.completed]
    instead of raising, so [run_grid] can aggregate timeouts. *)
 let run_unchecked ?(seed = 0) ?max_time ?probe ?check ?faults ~algo ~adv ~p
     ~t ~d () =
+  Atomic.incr sims;
   let aspec = find_algo algo in
   let vspec = find_adv adv in
   let cfg = Config.make ~seed ~p ~t () in
@@ -383,6 +391,7 @@ let run ?seed ?max_time ?probe ?check ?faults ~algo ~adv ~p ~t ~d () =
 
 let run_traced ?(seed = 0) ?max_time ?probe ?check ?faults ~algo ~adv ~p ~t
     ~d () =
+  Atomic.incr sims;
   let aspec = find_algo algo in
   let vspec = find_adv adv in
   let cfg = Config.make ~seed ~record_trace:true ~p ~t () in

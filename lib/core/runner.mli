@@ -110,6 +110,11 @@ exception Run_timeout of { spec : run_spec; metrics : Metrics.t }
     run got instead of discarding it. A printable form is installed via
     [Printexc.register_printer]. *)
 
+val sim_count : unit -> int
+(** Process-wide number of engine runs started through the runner (any
+    entry point, any domain). Deltas of this counter let tests assert
+    that memoized experiment cells simulate exactly once. *)
+
 val run :
   ?seed:int ->
   ?max_time:int ->

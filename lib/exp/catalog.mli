@@ -1,0 +1,12 @@
+(** The built-in experiment catalog: e1–e19 plus the Fig. 1 trace, one
+    registered {!Exp.t} per paper anchor (see EXPERIMENTS.md for the
+    paper-vs-measured record).
+
+    Bodies migrated from the pre-refactor [bench/main.ml] print
+    byte-identical tables — the golden snapshot tests in
+    [test/test_exp.ml] pin this at several [--jobs] levels. *)
+
+val install : unit -> unit
+(** Register every built-in experiment, in the order a bare [bench] runs
+    them (e1, e2, e3, fig1, e4 … e19). Idempotent; call it from every
+    entry point before touching the {!Exp} registry. *)

@@ -229,6 +229,31 @@ let write_trace oc ~meta m trace =
   Trace.fold trace ~init:() ~f:(fun () ev ->
       line oc ~kind:"event" (trace_event_fields ev))
 
+let write_table oc ~exp ~name tbl =
+  let module Table = Doall_analysis.Table in
+  let columns = Table.columns tbl in
+  line oc ~kind:"table"
+    Json.
+      [
+        ("exp", Str exp);
+        ("name", Str name);
+        ("title", Str (Table.title tbl));
+        ("columns", List (List.map (fun c -> Str c) columns));
+        ("rows", Int (List.length (Table.rows tbl)));
+        ("notes", List (List.map (fun n -> Str n) (Table.notes tbl)));
+      ];
+  List.iter
+    (fun row ->
+      line oc ~kind:"row"
+        Json.
+          [
+            ("exp", Str exp);
+            ("name", Str name);
+            ( "cells",
+              Obj (List.map2 (fun c cell -> (c, Str cell)) columns row) );
+          ])
+    (Doall_analysis.Table.rows tbl)
+
 let with_out path f =
   if path = "-" then begin
     f stdout;

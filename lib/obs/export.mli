@@ -72,6 +72,13 @@ val write_trace :
     per trace event in recording order (via {!Doall_sim.Trace.fold} —
     no intermediate list). *)
 
+val write_table :
+  out_channel -> exp:string -> name:string -> Doall_analysis.Table.t -> unit
+(** One [table] header line (experiment id, stable table name, title,
+    column list, row count, notes) followed by one [row] line per table
+    row with cells keyed by column name — what [doall exp run --jsonl]
+    emits for every table an experiment renders. *)
+
 val with_out : string -> (out_channel -> unit) -> unit
 (** [with_out path f] opens [path] for writing (["-"] means stdout,
     not closed), runs [f], and always closes/flushes. *)

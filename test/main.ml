@@ -29,6 +29,7 @@ let () =
       ("workload", Test_workload.suite);
       ("sharedmem", Test_sharedmem.suite);
       ("obs", Test_obs.suite);
+      ("exp", Test_exp.suite);
       ("golden", Test_golden.suite);
       ("golden-grid", Test_golden_grid.suite);
       ("docs", Test_docs.suite);
