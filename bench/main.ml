@@ -559,21 +559,252 @@ let obs_overhead ~quick () =
   print_string "  metrics identical across arms: yes\n"
 
 (* ------------------------------------------------------------------ *)
+(* xl: the scale-wall arm behind BENCH_3.json (docs/PERFORMANCE.md,
+   "xl methodology").
+
+   Two cell families sit beyond what the per-destination delivery
+   pipeline could reach: p=16384 fleets, where every broadcast used to
+   cost p-1 calendar-ring insertions and p-1 payload copies, and t=1e6
+   task sets, where every knowledge snapshot used to copy ~16k words.
+   The shared-broadcast stream plus delta payloads collapse both. A
+   third arm re-runs the BENCH_1 headline cells and requires the
+   broadcast-heavy PA ones to have gained >= 1.5x at unchanged
+   golden-pinned metrics. *)
+
+let vm_hwm_kb () =
+  (* Peak resident set of this process (kB), from /proc/self/status.
+     A high-water mark: cumulative over the process, so per-cell values
+     only bound the cell run smallest-first (see docs/PERFORMANCE.md). *)
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> None
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+          (* "VmHWM:\t  123456 kB" — take the first numeric field *)
+          String.sub line 6 (String.length line - 6)
+          |> String.split_on_char ' '
+          |> List.concat_map (String.split_on_char '\t')
+          |> List.find_map int_of_string_opt
+        else scan ()
+    in
+    Fun.protect ~finally:(fun () -> close_in ic) scan
+
+(* Ordered smallest-memory-first so the cumulative VmHWM samples stay
+   attributable (each cell's reading is an upper bound set by the
+   largest cell so far). *)
+let xl_scenarios ~quick =
+  if quick then
+    [
+      ("da-q4", "max-delay", 256, 131072, 8);
+      ("paran1", "max-delay", 2048, 1024, 8);
+    ]
+  else
+    [
+      ("paran1", "max-delay", 256, 1_000_000, 16);
+      ("da-q4", "max-delay", 256, 1_000_000, 16);
+      ("da-q4", "max-delay", 16384, 16384, 8);
+      ("paran1", "max-delay", 16384, 2048, 8);
+    ]
+
+(* BENCH_1's headline cells: recorded wall-clock (same reference
+   container, 2026-08-06) and golden-pinned metrics. The >= 1.5x gate
+   applies to the broadcast-heavy PA cells; da-q4 finishes in ~0.1s
+   where wall-clock is mostly noise, so it is reported unGated. *)
+let xl_speedup_cells =
+  [
+    ("paran1", 3.592, (20224, 5091840, 78), true);
+    ("padet", 4.624, (20224, 5091840, 78), true);
+    ("da-q4", 0.094, (8960, 130560, 34), false);
+  ]
+
+let xl ~quick ~out () =
+  let quick_ceiling_s = 60.0 in
+  let fail = ref false in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf "xl: scale-wall cells%s (seed 42)"
+           (if quick then " [--quick]" else ""))
+      ~columns:[ "scenario"; "W"; "M"; "sigma"; "wall_s"; "rss_peak_kb" ]
+  in
+  let cell_results =
+    List.map
+      (fun (algo, adv, p, t, d) ->
+        let key = Printf.sprintf "%s/%s/p%d/t%d/d%d" algo adv p t d in
+        Gc.compact ();
+        let t0 = Unix.gettimeofday () in
+        let m = (Runner.run ~seed:42 ~algo ~adv ~p ~t ~d ()).Runner.metrics in
+        let wall = Unix.gettimeofday () -. t0 in
+        let rss = vm_hwm_kb () in
+        if quick && wall > quick_ceiling_s then begin
+          Printf.eprintf "FATAL: xl --quick cell %s took %.1fs (ceiling %.0fs)\n"
+            key wall quick_ceiling_s;
+          fail := true
+        end;
+        Table.add_row tbl
+          [
+            key;
+            Table.cell_int m.Metrics.work;
+            Table.cell_int m.Metrics.messages;
+            Table.cell_int m.Metrics.sigma;
+            Printf.sprintf "%.3f" wall;
+            (match rss with Some kb -> Table.cell_int kb | None -> "-");
+          ];
+        (key, algo, adv, p, t, d, m, wall, rss))
+      (xl_scenarios ~quick)
+  in
+  Table.add_note tbl
+    "rss_peak_kb: /proc/self/status VmHWM after the cell - a process-wide \
+     high-water mark, so readings are cumulative; cells run \
+     smallest-memory-first to keep them attributable";
+  emit_named "xl-cells" tbl;
+  (* -- speedup arm vs BENCH_1 -- *)
+  let speedups =
+    if quick then []
+    else begin
+      let sp_tbl =
+        Table.create ~title:"xl: BENCH_1 headline cells, re-measured"
+          ~columns:
+            [ "scenario"; "wall_s"; "bench1_s"; "speedup"; "metrics"; "gate" ]
+      in
+      let rows =
+        List.map
+          (fun (algo, bench1_s, (w_pin, m_pin, s_pin), gated) ->
+            let p, t, d = (256, 4096, 16) in
+            let key = Printf.sprintf "%s/max-delay/p%d/t%d/d%d" algo p t d in
+            let best = ref infinity and last = ref None in
+            for _ = 1 to 2 do
+              Gc.compact ();
+              let t0 = Unix.gettimeofday () in
+              let m =
+                (Runner.run ~seed:42 ~algo ~adv:"max-delay" ~p ~t ~d ())
+                  .Runner.metrics
+              in
+              let wall = Unix.gettimeofday () -. t0 in
+              if wall < !best then best := wall;
+              last := Some m
+            done;
+            let m = Option.get !last in
+            let pinned =
+              m.Metrics.work = w_pin
+              && m.Metrics.messages = m_pin
+              && m.Metrics.sigma = s_pin
+            in
+            let speedup = bench1_s /. !best in
+            if not pinned then begin
+              Printf.eprintf
+                "FATAL: %s metrics diverged from BENCH_1 (W=%d M=%d sigma=%d, \
+                 expected W=%d M=%d sigma=%d)\n"
+                key m.Metrics.work m.Metrics.messages m.Metrics.sigma w_pin
+                m_pin s_pin;
+              fail := true
+            end;
+            if gated && speedup < 1.5 then begin
+              Printf.eprintf
+                "FATAL: %s speedup %.2fx below the 1.5x gate (BENCH_1 %.3fs, \
+                 now %.3fs)\n"
+                key speedup bench1_s !best;
+              fail := true
+            end;
+            Table.add_row sp_tbl
+              [
+                key;
+                Printf.sprintf "%.3f" !best;
+                Printf.sprintf "%.3f" bench1_s;
+                Printf.sprintf "%.2fx" speedup;
+                (if pinned then "pinned" else "DIVERGED");
+                (if gated then ">=1.5x" else "report-only");
+              ];
+            (key, !best, bench1_s, speedup, pinned, gated))
+          xl_speedup_cells
+      in
+      Table.add_note sp_tbl
+        "best of 2 rounds, major heap compacted before each; bench1_s from \
+         BENCH_1.json (same reference container); metrics must equal the \
+         golden-pinned BENCH_1 values";
+      emit_named "xl-speedup" sp_tbl;
+      rows
+    end
+  in
+  let cell_json (key, algo, adv, p, t, d, (m : Metrics.t), wall, rss) =
+    Json.Obj
+      ([
+         ("scenario", Json.Str key);
+         ("algo", Json.Str algo);
+         ("adversary", Json.Str adv);
+         ("p", Json.Int p);
+         ("t", Json.Int t);
+         ("d", Json.Int d);
+         ("work", Json.Int m.Metrics.work);
+         ("messages", Json.Int m.Metrics.messages);
+         ("sigma", Json.Int m.Metrics.sigma);
+         ("wall_s", Json.Float wall);
+       ]
+      @ match rss with Some kb -> [ ("rss_peak_kb", Json.Int kb) ] | None -> []
+      )
+  in
+  let speedup_json (key, wall, bench1_s, speedup, pinned, gated) =
+    Json.Obj
+      [
+        ("scenario", Json.Str key);
+        ("wall_s", Json.Float wall);
+        ("bench1_wall_s", Json.Float bench1_s);
+        ("speedup_vs_bench1", Json.Float speedup);
+        ("metrics_pinned", Json.Bool pinned);
+        ("gated_1_5x", Json.Bool gated);
+      ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ("bench", Json.Int 3);
+        ( "description",
+          Json.Str
+            "scale-wall cells (p=16384 fleets, t=1e6 task sets) unlocked by \
+             the shared-broadcast stream + delta payloads, plus the BENCH_1 \
+             headline cells re-measured; third point of the perf trajectory"
+        );
+        ("quick", Json.Bool quick);
+        ( "baseline",
+          Json.Obj
+            [
+              ("bench", Json.Str "BENCH_1.json");
+              ( "engine",
+                Json.Str
+                  "per-destination delivery: one calendar-ring insertion and \
+                   one full-snapshot payload per (broadcast, destination)" );
+              ("measured", Json.Str "2026-08-06");
+            ] );
+        ("cells", Json.List (List.map cell_json cell_results));
+        ("bench1_speedup", Json.List (List.map speedup_json speedups));
+      ]
+  in
+  let oc = open_out out in
+  Json.pp_to_channel oc doc;
+  close_out oc;
+  Printf.printf "wrote %s\n" out;
+  if !fail then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let list_experiments () =
   List.iter
     (fun e -> Printf.printf "%-5s %s\n" e.Exp.id (Exp.one_liner e))
     (Exp.all ());
   print_string "micro  Bechamel microbenchmarks (bitsets, event queues, engine cells)\n";
-  print_string "perf   wall-clock grid + parallel-grid speedup, writes BENCH_N.json\n";
-  print_string "obs    probe overhead on the paper-scale cell (target < 5%)\n"
+  print_string "perf   wall-clock grid + parallel-grid speedup, writes BENCH_2.json\n";
+  print_string "obs    probe overhead on the paper-scale cell (target < 5%)\n";
+  print_string "xl     scale-wall cells (p=16384, t=1e6) + BENCH_1 speedup gate, writes BENCH_3.json\n"
 
 let unknown id =
   Printf.eprintf "unknown experiment %S; known experiments:\n" id;
   List.iter
     (fun e -> Printf.eprintf "  %-5s %s\n" e.Exp.id (Exp.one_liner e))
     (Exp.all ());
-  Printf.eprintf "  micro, perf, obs (performance targets)\n";
+  Printf.eprintf "  micro, perf, obs, xl (performance targets)\n";
   exit 2
 
 let () =
@@ -588,7 +819,7 @@ let () =
   Catalog.install ();
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = ref false in
-  let perf_out = ref "BENCH_2.json" in
+  let out_override = ref None in
   let list_only = ref false in
   let rec strip_flags acc = function
     | "--csv" :: dir :: rest ->
@@ -602,7 +833,7 @@ let () =
       list_only := true;
       strip_flags acc rest
     | "--out" :: path :: rest ->
-      perf_out := path;
+      out_override := Some path;
       strip_flags acc rest
     | "--jobs" :: n :: rest ->
       (match int_of_string_opt n with
@@ -624,9 +855,11 @@ let () =
     in
     List.iter
       (fun id ->
+        let out default = Option.value !out_override ~default in
         if id = "micro" then micro ()
-        else if id = "perf" then perf ~quick:!quick ~out:!perf_out ()
+        else if id = "perf" then perf ~quick:!quick ~out:(out "BENCH_2.json") ()
         else if id = "obs" then obs_overhead ~quick:!quick ()
+        else if id = "xl" then xl ~quick:!quick ~out:(out "BENCH_3.json") ()
         else
           match Exp.find id with
           | Some e ->

@@ -79,8 +79,9 @@ let flaky ?(survivor = 0) ~up ~down () =
   (crash, restart)
 
 let into ~name crash =
-  Adversary.make ~name ~schedule:Adversary.all_active ~delay:Delay.immediate
-    ~crash
+  Adversary.with_latency (Adversary.Fixed 1)
+    (Adversary.make ~name ~schedule:Adversary.all_active
+       ~delay:Delay.immediate ~crash)
 
 let into_recovering ~name ~crash ~restart =
   Adversary.with_restart restart (into ~name crash)

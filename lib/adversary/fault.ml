@@ -48,8 +48,9 @@ let all policies : t =
 
 let into ~name policy =
   Adversary.with_faults policy
-    (Adversary.make ~name ~schedule:Adversary.all_active ~delay:Delay.immediate
-       ~crash:Adversary.no_crash)
+    (Adversary.with_latency (Adversary.Fixed 1)
+       (Adversary.make ~name ~schedule:Adversary.all_active
+          ~delay:Delay.immediate ~crash:Adversary.no_crash))
 
 (* ---- CLI spec parsing: "drop=0.3,dup=0.2x2,reorder=0.1" ---- *)
 

@@ -14,6 +14,11 @@ let wrap (adv : Adversary.t) =
     {
       adv with
       Adversary.name = adv.Adversary.name ^ "+rec";
+      (* Strip any latency declaration: taping must observe every
+         per-destination delay call, which the engine's declared-latency
+         fast path would skip. Replay is unaffected — fast and slow
+         paths agree on all observable metrics. *)
+      latency = Adversary.Variable;
       schedule =
         (fun o ->
           let mask = adv.Adversary.schedule o in

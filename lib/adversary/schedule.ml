@@ -41,12 +41,27 @@ let adaptive_laggard (o : Adversary.oracle) =
   active
 
 let into ~name schedule =
-  Adversary.make ~name ~schedule ~delay:Delay.immediate
-    ~crash:Adversary.no_crash
+  Adversary.with_latency (Adversary.Fixed 1)
+    (Adversary.make ~name ~schedule ~delay:Delay.immediate
+       ~crash:Adversary.no_crash)
 
-let combine ~name ?(schedule = all) ?(delay = Delay.immediate)
-    ?(crash = Adversary.no_crash) ?faults ?restart () =
-  let adv = Adversary.make ~name ~schedule ~delay ~crash in
+let combine ~name ?schedule ?delay ?latency ?(crash = Adversary.no_crash)
+    ?faults ?restart () =
+  let schedule = Option.value schedule ~default:all in
+  (* The implicit default delay is [immediate], a constant the engine may
+     rely on; an explicit [delay] is opaque unless the caller also
+     declares its latency. *)
+  let delay, latency =
+    match (delay, latency) with
+    | None, None -> (Delay.immediate, Adversary.Fixed 1)
+    | None, Some l -> (Delay.immediate, l)
+    | Some f, None -> (f, Adversary.Variable)
+    | Some f, Some l -> (f, l)
+  in
+  let adv =
+    Adversary.with_latency latency
+      (Adversary.make ~name ~schedule ~delay ~crash)
+  in
   let adv =
     match faults with None -> adv | Some f -> Adversary.with_faults f adv
   in

@@ -37,16 +37,21 @@ val adaptive_laggard : t
     {!Lb_randomized} are the principled versions. *)
 
 val into : name:string -> t -> Adversary.t
-(** Wrap with immediate delivery and no crashes. *)
+(** Wrap with immediate delivery and no crashes. Declares
+    [Adversary.Fixed 1] latency (immediate delivery is constant). *)
 
 val combine :
   name:string ->
   ?schedule:t ->
   ?delay:Delay.t ->
+  ?latency:Adversary.latency ->
   ?crash:(Adversary.oracle -> int list) ->
   ?faults:Adversary.faults ->
   ?restart:(Adversary.oracle -> int list) ->
   unit ->
   Adversary.t
 (** Assemble an adversary from parts; omitted parts are fair (and the
-    network reliable, crashes permanent). *)
+    network reliable, crashes permanent). Latency declaration: when
+    [delay] is omitted the default immediate delivery is declared
+    [Fixed 1]; a supplied [delay] is treated as [Variable] unless
+    [latency] vouches for it. *)

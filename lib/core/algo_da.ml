@@ -18,7 +18,11 @@ let default_psi ~q =
         Hashtbl.replace psi_cache q cert.Search.list;
         cert.Search.list)
 
-type msg = { m_tree : Bitset.t; m_tasks : Bitset.t }
+(* Each replica component travels either as a full copy ([Know], the
+   paper's reading) or, on the engine's delta-wire runs (Config.wire),
+   as only the words touched since the sender's previous multicast. *)
+type payload = Know of Bitset.t | Delta of Bitset.delta
+type msg = { m_tree : payload; m_tasks : payload }
 
 type frame = {
   node : int;
@@ -55,6 +59,9 @@ let make ?(q = 4) ?psi () : Algorithm.packed =
       sh : Progress_tree.t;
       tree : Bitset.t;
       know : Bitset.t;
+      trackers : (Bitset.tracker * Bitset.tracker) option;
+        (* Some (tree, tasks) on delta-wire runs: words touched since
+           the last multicast of each component. *)
       digits : int array;
       mutable stack : frame list;
       mutable current : int option; (* leaf node whose job is in progress *)
@@ -80,11 +87,18 @@ let make ?(q = 4) ?psi () : Algorithm.packed =
             ],
             None )
       in
+      let know = Bitset.create cfg.t in
+      let trackers =
+        match cfg.Config.wire with
+        | Config.Delta -> Some (Bitset.tracker tree, Bitset.tracker know)
+        | Config.Full -> None
+      in
       {
         part;
         sh;
         tree;
-        know = Bitset.create cfg.t;
+        know;
+        trackers;
         digits;
         stack;
         current;
@@ -96,6 +110,11 @@ let make ?(q = 4) ?psi () : Algorithm.packed =
         st with
         tree = Bitset.copy st.tree;
         know = Bitset.copy st.know;
+        trackers =
+          Option.map
+            (fun (tt, tk) ->
+              (Bitset.tracker_copy tt, Bitset.tracker_copy tk))
+            st.trackers;
         stack =
           List.map
             (fun fr ->
@@ -103,15 +122,52 @@ let make ?(q = 4) ?psi () : Algorithm.packed =
             st.stack;
       }
 
+    (* All tree/know mutations funnel through these two so the delta
+       trackers never miss a touched word. *)
+    let mark_tree st node =
+      match st.trackers with
+      | Some (tt, _) -> Bitset.set_tracked st.tree tt node
+      | None -> Bitset.set st.tree node
+
+    let mark_task st z =
+      match st.trackers with
+      | Some (_, tk) -> Bitset.set_tracked st.know tk z
+      | None -> Bitset.set st.know z
+
     let receive st ~src:_ msg =
-      Bitset.union_into ~dst:st.tree msg.m_tree;
-      Bitset.union_into ~dst:st.know msg.m_tasks
+      match st.trackers with
+      | Some (tt, tk) ->
+        (match msg.m_tree with
+         | Know b -> Bitset.union_into_tracked ~dst:st.tree tt b
+         | Delta dl -> Bitset.apply_delta_tracked ~dst:st.tree tt dl);
+        (match msg.m_tasks with
+         | Know b -> Bitset.union_into_tracked ~dst:st.know tk b
+         | Delta dl -> Bitset.apply_delta_tracked ~dst:st.know tk dl)
+      | None ->
+        (match msg.m_tree with
+         | Know b -> Bitset.union_into ~dst:st.tree b
+         | Delta dl -> Bitset.apply_delta ~dst:st.tree dl);
+        (match msg.m_tasks with
+         | Know b -> Bitset.union_into ~dst:st.know b
+         | Delta dl -> Bitset.apply_delta ~dst:st.know dl)
 
     let is_done st = Bitset.is_full st.know
     let done_tasks st = st.know
 
     let snapshot st =
-      Some { m_tree = Bitset.copy st.tree; m_tasks = Bitset.copy st.know }
+      match st.trackers with
+      | Some (tt, tk) ->
+        Some
+          {
+            m_tree = Delta (Bitset.delta_flush st.tree tt);
+            m_tasks = Delta (Bitset.delta_flush st.know tk);
+          }
+      | None ->
+        Some
+          {
+            m_tree = Know (Bitset.copy st.tree);
+            m_tasks = Know (Bitset.copy st.know);
+          }
 
     let perform_at_leaf st leaf =
       (* One member task of the leaf's job; mark and multicast when the
@@ -119,9 +175,9 @@ let make ?(q = 4) ?psi () : Algorithm.packed =
       let j = Progress_tree.job_of_leaf st.sh leaf in
       match Task.next_member st.part st.know j with
       | Some z ->
-        Bitset.set st.know z;
+        mark_task st z;
         if Task.job_done st.part st.know j then begin
-          Bitset.set st.tree leaf;
+          mark_tree st leaf;
           st.current <- None;
           Algorithm.result ~performed:z ?broadcast:(snapshot st) ()
         end
@@ -131,7 +187,7 @@ let make ?(q = 4) ?psi () : Algorithm.packed =
         end
       | None ->
         (* The job completed elsewhere while we were heading to it. *)
-        Bitset.set st.tree leaf;
+        mark_tree st leaf;
         st.current <- None;
         Algorithm.result ?broadcast:(snapshot st) ()
 
@@ -159,7 +215,7 @@ let make ?(q = 4) ?psi () : Algorithm.packed =
             else if fr.idx >= st.sh.Progress_tree.q then begin
               (* Post-order completion: mark the node and share the news
                  (lines 50-52 of Fig. 3). *)
-              Bitset.set st.tree fr.node;
+              mark_tree st fr.node;
               st.stack <- rest;
               Algorithm.result ?broadcast:(snapshot st) ()
             end

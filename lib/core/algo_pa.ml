@@ -27,13 +27,24 @@ let make_variant ?(gossip = `Full) ?(broadcast_every = 1) ?fanout variant :
         | None -> ""
         | Some k -> Printf.sprintf "-f%d" k
 
-    type msg = Bitset.t
+    (* [Know]: a full copy of the sender's knowledge (the paper's
+       reading, always correct). [Delta]: only the words touched since
+       the sender's previous broadcast — exact on the engine's
+       delta-wire runs (Config.wire), where channels are FIFO and
+       reliable so every receiver already holds the sender's earlier
+       flushes. *)
+    type msg = Know of Bitset.t | Delta of Bitset.delta
 
     type state = {
       p : int;
       pid : int;
       part : Task.partition;
       know : Bitset.t;
+      tracker : Bitset.tracker option;
+        (* Some = delta wire: words of [know] touched since the last
+           broadcast. None = full payloads (also for the `Single and
+           fanout variants, whose payloads are not whole-knowledge
+           snapshots of a FIFO stream). *)
       order : int array;
         (* Ran1/Det: the job schedule; Ran2: the pool, whose first [pos]
            entries are the not-yet-eliminated candidates. *)
@@ -65,11 +76,18 @@ let make_variant ?(gossip = `Full) ?(broadcast_every = 1) ?fanout variant :
             invalid_arg "Algo_pa: schedule size must be min(p, t)";
           (Perm.to_array pi, 0)
       in
+      let know = Bitset.create cfg.t in
+      let tracker =
+        match (cfg.wire, gossip, fanout) with
+        | Config.Delta, `Full, None -> Some (Bitset.tracker know)
+        | _ -> None
+      in
       {
         p = cfg.p;
         pid;
         part;
-        know = Bitset.create cfg.t;
+        know;
+        tracker;
         order;
         pos;
         rng;
@@ -82,11 +100,17 @@ let make_variant ?(gossip = `Full) ?(broadcast_every = 1) ?fanout variant :
       {
         st with
         know = Bitset.copy st.know;
+        tracker = Option.map Bitset.tracker_copy st.tracker;
         order = Array.copy st.order;
         rng = Rng.copy st.rng;
       }
 
-    let receive st ~src:_ msg = Bitset.union_into ~dst:st.know msg
+    let receive st ~src:_ msg =
+      match (msg, st.tracker) with
+      | Know b, None -> Bitset.union_into ~dst:st.know b
+      | Know b, Some tk -> Bitset.union_into_tracked ~dst:st.know tk b
+      | Delta dl, Some tk -> Bitset.apply_delta_tracked ~dst:st.know tk dl
+      | Delta dl, None -> Bitset.apply_delta ~dst:st.know dl
     let is_done st = Bitset.is_full st.know
     let done_tasks st = st.know
 
@@ -138,7 +162,9 @@ let make_variant ?(gossip = `Full) ?(broadcast_every = 1) ?fanout variant :
           match Task.next_member st.part st.know j with
           | None -> Algorithm.nothing (* unreachable: select checked *)
           | Some z ->
-            Bitset.set st.know z;
+            (match st.tracker with
+             | Some tk -> Bitset.set_tracked st.know tk z
+             | None -> Bitset.set st.know z);
             st.current <-
               (if Task.job_done st.part st.know j then None else Some j);
             st.performed_steps <- st.performed_steps + 1;
@@ -151,12 +177,15 @@ let make_variant ?(gossip = `Full) ?(broadcast_every = 1) ?fanout variant :
             then begin
               let payload =
                 match gossip with
-                | `Full -> Bitset.copy st.know
+                | `Full -> (
+                  match st.tracker with
+                  | Some tk -> Delta (Bitset.delta_flush st.know tk)
+                  | None -> Know (Bitset.copy st.know))
                 | `Single ->
                   (* Ablation: announce only the task just performed. *)
                   let b = Bitset.create (Bitset.length st.know) in
                   Bitset.set b z;
-                  b
+                  Know b
               in
               match fanout with
               | None -> Algorithm.result ~performed:z ~broadcast:payload ()

@@ -81,7 +81,10 @@ let adversaries =
     {
       adv_name = "max-delay";
       adv_doc = "fair stepping, every message takes the full d";
-      instantiate = (fun ~p:_ ~t:_ ~d:_ -> Delay.into ~name:"max-delay" Delay.maximal);
+      instantiate =
+        (fun ~p:_ ~t:_ ~d:_ ->
+          Delay.into ~latency:Adversary.Maximal ~name:"max-delay"
+            Delay.maximal);
     };
     {
       adv_name = "uniform-delay";

@@ -19,10 +19,13 @@ type oracle = {
 type fault_action = Deliver | Drop | Duplicate of int | Reorder of int
 type faults = oracle -> src:int -> dst:int -> fault_action
 
+type latency = Variable | Fixed of int | Maximal
+
 type t = {
   name : string;
   schedule : oracle -> bool array;
   delay : oracle -> src:int -> dst:int -> int;
+  latency : latency;
   crash : oracle -> int list;
   faults : faults option;
   restart : (oracle -> int list) option;
@@ -32,27 +35,32 @@ let no_crash (_ : oracle) = []
 let all_active o = Array.make o.p true
 
 let make ~name ~schedule ~delay ~crash =
-  { name; schedule; delay; crash; faults = None; restart = None }
+  { name; schedule; delay; latency = Variable; crash; faults = None;
+    restart = None }
 
 let with_faults f adv = { adv with faults = Some f }
 let with_restart r adv = { adv with restart = Some r }
+let with_latency l adv = { adv with latency = l }
 
 let fair =
-  make ~name:"fair" ~schedule:all_active
-    ~delay:(fun _ ~src:_ ~dst:_ -> 1)
-    ~crash:no_crash
+  with_latency (Fixed 1)
+    (make ~name:"fair" ~schedule:all_active
+       ~delay:(fun _ ~src:_ ~dst:_ -> 1)
+       ~crash:no_crash)
 
 let fixed_delay delta =
-  make
-    ~name:(Printf.sprintf "fixed-delay-%d" delta)
-    ~schedule:all_active
-    ~delay:(fun _ ~src:_ ~dst:_ -> delta)
-    ~crash:no_crash
+  with_latency (Fixed delta)
+    (make
+       ~name:(Printf.sprintf "fixed-delay-%d" delta)
+       ~schedule:all_active
+       ~delay:(fun _ ~src:_ ~dst:_ -> delta)
+       ~crash:no_crash)
 
 let max_delay =
-  make ~name:"max-delay" ~schedule:all_active
-    ~delay:(fun o ~src:_ ~dst:_ -> o.d)
-    ~crash:no_crash
+  with_latency Maximal
+    (make ~name:"max-delay" ~schedule:all_active
+       ~delay:(fun o ~src:_ ~dst:_ -> o.d)
+       ~crash:no_crash)
 
 let uniform_delay =
   make ~name:"uniform-delay" ~schedule:all_active

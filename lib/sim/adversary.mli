@@ -55,6 +55,26 @@ type fault_action =
 type faults = oracle -> src:int -> dst:int -> fault_action
 (** Invoked once per point-to-point send (after the [delay] policy). *)
 
+type latency =
+  | Variable
+      (** no promise: the engine consults [delay] once per
+          point-to-point copy — the general case. *)
+  | Fixed of int
+      (** a declaration that [delay] always returns exactly this value:
+          it ignores [src]/[dst], draws no randomness, and reads no
+          mutable oracle state. *)
+  | Maximal
+      (** a declaration that [delay] always returns the bound [d]
+          (equivalent to [Fixed d], stated without knowing [d]). *)
+(** A {e declared} latency profile. Declaring [Fixed]/[Maximal] is a
+    promise, not a measurement: the engine trusts it to skip the
+    per-destination [delay] consultations of a multicast and enqueue one
+    shared broadcast record for all [p - 1] recipients (the
+    constant-delay fast path; see docs/PERFORMANCE.md). A declaration
+    that does not match the [delay] function's behaviour changes run
+    results. Profiles where latency varies per message, per destination,
+    or per tick must stay [Variable]. *)
+
 type t = {
   name : string;
   schedule : oracle -> bool array;
@@ -65,6 +85,9 @@ type t = {
   delay : oracle -> src:int -> dst:int -> int;
       (** latency for a message submitted now; the engine clamps the
           result into [1 .. max 1 d]. *)
+  latency : latency;
+      (** declared profile of [delay]; [Variable] unless a constructor
+          or {!with_latency} promises otherwise. *)
   crash : oracle -> int list;
       (** pids to crash at this instant; the engine refuses to crash the
           last live processor. *)
@@ -105,9 +128,16 @@ val make :
   delay:(oracle -> src:int -> dst:int -> int) ->
   crash:(oracle -> int list) ->
   t
-(** An adversary inside the paper's model: no faults, no restarts. The
-    constructor all paper-mode builders go through, so adding
-    beyond-the-model capabilities never touches them. *)
+(** An adversary inside the paper's model: no faults, no restarts, and a
+    [Variable] latency declaration (always safe). The constructor all
+    paper-mode builders go through, so adding beyond-the-model
+    capabilities never touches them. *)
+
+val with_latency : latency -> t -> t
+(** Overlay a latency declaration (see {!type-latency} for the promise it
+    makes). [with_latency Variable] strips a declaration, forcing the
+    engine's general per-destination path — useful for differential
+    tests of the fast path. *)
 
 val with_faults : faults -> t -> t
 (** Overlay a fault policy (replacing any existing one); the name is

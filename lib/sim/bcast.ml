@@ -1,0 +1,173 @@
+(* See bcast.mli. One broadcast = one record in a growable circular
+   struct-of-arrays buffer, globally sorted by (due, seq) because the
+   engine only streams broadcasts whose delay is a declared constant:
+   send instants never decrease, so dues never decrease, and seq breaks
+   ties in send order. Each destination keeps a cursor (absolute record
+   index); delivery walks the cursor over records due by now. A record's
+   [rc] counts the active destinations whose cursors have not passed it
+   yet (the sender included — it passes its own record without a
+   delivery); storage is reclaimed from the head once [rc] hits zero. *)
+
+type 'msg t = {
+  p : int;
+  mutable due : int array; (* columns, circular: slot = index land mask *)
+  mutable src : int array;
+  mutable seq : int array;
+  mutable rc : int array;
+  mutable msg : 'msg array;
+  mutable head : int; (* absolute index of the first retained record *)
+  mutable tail : int; (* absolute index one past the last record *)
+  mutable last_due : int;
+  cursor : int array; (* per pid: absolute index of the next record *)
+  active : bool array;
+  mutable n_active : int;
+  mutable filler : 'msg option; (* overwrites reclaimed slots *)
+}
+
+let create ~p () =
+  if p <= 0 then invalid_arg "Bcast.create: need at least one processor";
+  {
+    p;
+    due = [||];
+    src = [||];
+    seq = [||];
+    rc = [||];
+    msg = [||];
+    head = 0;
+    tail = 0;
+    last_due = min_int;
+    cursor = Array.make p 0;
+    active = Array.make p true;
+    n_active = p;
+    filler = None;
+  }
+
+let check_pid s pid name =
+  if pid < 0 || pid >= s.p then invalid_arg (name ^ ": pid out of range")
+
+let grow s msg0 =
+  let cap = Array.length s.due in
+  let cap' = if cap = 0 then 64 else 2 * cap in
+  let due' = Array.make cap' 0
+  and src' = Array.make cap' 0
+  and seq' = Array.make cap' 0
+  and rc' = Array.make cap' 0
+  and msg' = Array.make cap' msg0 in
+  let mask = cap - 1 and mask' = cap' - 1 in
+  for k = s.head to s.tail - 1 do
+    let j = k land mask and j' = k land mask' in
+    due'.(j') <- s.due.(j);
+    src'.(j') <- s.src.(j);
+    seq'.(j') <- s.seq.(j);
+    rc'.(j') <- s.rc.(j);
+    msg'.(j') <- s.msg.(j)
+  done;
+  s.due <- due';
+  s.src <- src';
+  s.seq <- seq';
+  s.rc <- rc';
+  s.msg <- msg'
+
+let reclaim s =
+  let mask = Array.length s.due - 1 in
+  while s.head < s.tail && Array.unsafe_get s.rc (s.head land mask) = 0 do
+    (* drop the payload reference so reclaimed records don't retain it *)
+    (match s.filler with
+     | Some f -> Array.unsafe_set s.msg (s.head land mask) f
+     | None -> ());
+    s.head <- s.head + 1
+  done
+
+let add s ~due ~src ~seq msg =
+  check_pid s src "Bcast.add src";
+  if due < s.last_due then
+    invalid_arg "Bcast.add: due times must be non-decreasing";
+  s.last_due <- due;
+  (match s.filler with None -> s.filler <- Some msg | Some _ -> ());
+  if s.tail - s.head = Array.length s.due then grow s msg;
+  let i = s.tail land (Array.length s.due - 1) in
+  Array.unsafe_set s.due i due;
+  Array.unsafe_set s.src i src;
+  Array.unsafe_set s.seq i seq;
+  Array.unsafe_set s.rc i s.n_active;
+  Array.unsafe_set s.msg i msg;
+  s.tail <- s.tail + 1
+
+let peek s ~dst ~now =
+  check_pid s dst "Bcast.peek";
+  if not (Array.unsafe_get s.active dst) then false
+  else begin
+    let mask = Array.length s.due - 1 in
+    let c = ref (Array.unsafe_get s.cursor dst) in
+    let passed_own = ref false in
+    (* pass (without delivering) our own due records: they keep global
+       (due, seq) order but a processor never receives from itself *)
+    while
+      !c < s.tail
+      && Array.unsafe_get s.due (!c land mask) <= now
+      && Array.unsafe_get s.src (!c land mask) = dst
+    do
+      let i = !c land mask in
+      Array.unsafe_set s.rc i (Array.unsafe_get s.rc i - 1);
+      incr c;
+      passed_own := true
+    done;
+    if !passed_own then begin
+      Array.unsafe_set s.cursor dst !c;
+      reclaim s
+    end;
+    !c < s.tail && Array.unsafe_get s.due (!c land mask) <= now
+  end
+
+let idx s dst = Array.unsafe_get s.cursor dst land (Array.length s.due - 1)
+let head_due s ~dst = Array.unsafe_get s.due (idx s dst)
+let head_seq s ~dst = Array.unsafe_get s.seq (idx s dst)
+let head_src s ~dst = Array.unsafe_get s.src (idx s dst)
+let head_msg s ~dst = Array.unsafe_get s.msg (idx s dst)
+
+let pop s ~dst =
+  let i = idx s dst in
+  Array.unsafe_set s.rc i (Array.unsafe_get s.rc i - 1);
+  Array.unsafe_set s.cursor dst (Array.unsafe_get s.cursor dst + 1);
+  reclaim s
+
+let deactivate s ~pid =
+  check_pid s pid "Bcast.deactivate";
+  if Array.unsafe_get s.active pid then begin
+    s.active.(pid) <- false;
+    s.n_active <- s.n_active - 1;
+    let mask = Array.length s.due - 1 in
+    for k = s.cursor.(pid) to s.tail - 1 do
+      let i = k land mask in
+      Array.unsafe_set s.rc i (Array.unsafe_get s.rc i - 1)
+    done;
+    s.cursor.(pid) <- s.tail;
+    if s.head < s.tail then reclaim s
+  end
+
+let pending_for s ~dst =
+  check_pid s dst "Bcast.pending_for";
+  if not s.active.(dst) then 0
+  else begin
+    let mask = Array.length s.due - 1 in
+    let n = ref 0 in
+    for k = s.cursor.(dst) to s.tail - 1 do
+      if Array.unsafe_get s.src (k land mask) <> dst then incr n
+    done;
+    !n
+  end
+
+let next_due s ~dst =
+  check_pid s dst "Bcast.next_due";
+  if not s.active.(dst) then None
+  else begin
+    let mask = Array.length s.due - 1 in
+    let res = ref None in
+    let k = ref s.cursor.(dst) in
+    while !res = None && !k < s.tail do
+      if Array.unsafe_get s.src (!k land mask) <> dst then
+        res := Some (Array.unsafe_get s.due (!k land mask));
+      incr k
+    done;
+    !res
+  end

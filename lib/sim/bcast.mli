@@ -1,0 +1,60 @@
+(** Shared broadcast records: the O(1)-amortized multicast stream.
+
+    Under an adversary whose latency is a declared constant
+    ({!Adversary.latency}), every copy of a multicast is due at the same
+    instant, and successive multicasts have non-decreasing dues. A
+    broadcast can then be enqueued {e once} — payload, source, due, seq
+    and a refcount of undelivered recipients — instead of [p - 1]
+    per-destination queue insertions, and expanded lazily as each
+    destination's delivery cursor walks over it. This is what collapses
+    the engine's O(p) multicast cost and lets p = 16384 runs fit in
+    memory (p - 1 queued copies per broadcast would not).
+
+    Records must be added in non-decreasing due order (checked); [seq]
+    must be strictly increasing across adds — the same counter the
+    per-destination {!Msg_ring}s use, so the two streams merge under one
+    total (due, seq) delivery key, preserving the exact delivery order
+    of the per-destination path.
+
+    A destination that halts or crashes for good is {!deactivate}d: its
+    cursor stops holding records alive, so a broadcast's storage is
+    reclaimed once every still-active destination has passed it. The
+    logical messages owed to inactive destinations are {e not} forgotten
+    by the network's in-flight accounting — matching the
+    per-destination path, where such messages rot in the queue. *)
+
+type 'msg t
+
+val create : p:int -> unit -> 'msg t
+(** A stream for destinations [0..p-1], all initially active. *)
+
+val add : 'msg t -> due:int -> src:int -> seq:int -> 'msg -> unit
+(** Append one shared record with refcount = current active count.
+    Raises [Invalid_argument] if [due] decreases. *)
+
+val peek : 'msg t -> dst:int -> now:int -> bool
+(** Position [dst]'s cursor at its earliest undelivered record with
+    [due <= now]; false if there is none or [dst] is inactive. Records
+    from [dst] itself are passed over (never delivered to their sender).
+    After [true], the [head_*] accessors are valid until the next
+    {!pop}. *)
+
+val head_due : 'msg t -> dst:int -> int
+val head_seq : 'msg t -> dst:int -> int
+val head_src : 'msg t -> dst:int -> int
+val head_msg : 'msg t -> dst:int -> 'msg
+
+val pop : 'msg t -> dst:int -> unit
+(** Consume the record located by the last successful {!peek} for
+    [dst]: advance the cursor and drop one refcount. *)
+
+val deactivate : 'msg t -> pid:int -> unit
+(** Permanently remove [pid] as a recipient (halted, or crashed with no
+    recovery): undelivered records stop waiting for it and future
+    records exclude it. Idempotent. *)
+
+val pending_for : 'msg t -> dst:int -> int
+(** Undelivered records addressed to [dst] (0 if inactive). Read-only. *)
+
+val next_due : 'msg t -> dst:int -> int option
+(** Earliest due among records still addressed to [dst]. Read-only. *)

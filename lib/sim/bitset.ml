@@ -15,7 +15,12 @@ let create n =
   { words = Array.make (words_for n) 0; n; count = 0 }
 
 let length b = b.n
-let copy b = { words = Array.copy b.words; n = b.n; count = b.count }
+
+let copy b =
+  (* an empty set has nothing worth memcpy-ing: a fresh zero block is
+     cheaper and yields the same value *)
+  if b.count = 0 then { words = Array.make (Array.length b.words) 0; n = b.n; count = 0 }
+  else { words = Array.copy b.words; n = b.n; count = b.count }
 
 let check b i =
   if i < 0 || i >= b.n then invalid_arg "Bitset: index out of range"
@@ -38,16 +43,19 @@ let cardinal b = b.count
 let is_full b = b.count = b.n
 let is_empty b = b.count = 0
 
-(* Kernighan popcount: O(set bits). [union_into] only ever runs it over
-   newly-acquired bits, and knowledge is monotone, so the total popcount
-   work over a whole run is O(n) per destination set. *)
+(* Branch-free SWAR popcount. The classic 64-bit ladder, adapted to
+   OCaml's 63-bit ints by peeling the top bit first so the remaining 62
+   bits fit the byte-lane masks (which must stay below [max_int] to be
+   writable as literals). Constant ~10 ops per word regardless of
+   density — the Kernighan loop this replaces was O(set bits), which is
+   the worst case exactly when words saturate late in a run. *)
 let popcount w =
-  let c = ref 0 and v = ref w in
-  while !v <> 0 do
-    v := !v land (!v - 1);
-    incr c
-  done;
-  !c
+  let top = (w lsr 62) land 1 in
+  let x = w land 0x3FFFFFFFFFFFFFFF in
+  let x = x - ((x lsr 1) land 0x1555555555555555) in
+  let x = (x land 0x3333333333333333) + ((x lsr 2) land 0x3333333333333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  top + ((x * 0x0101010101010101) lsr 56)
 
 let union_into ~dst src =
   if dst.n <> src.n then invalid_arg "Bitset.union_into: capacity mismatch";
@@ -157,6 +165,124 @@ let of_list n is =
   let b = create n in
   List.iter (set b) is;
   b
+
+(* ---- Delta wire encoding (see bitset.mli and docs/PERFORMANCE.md) ----
+
+   A [tracker] remembers which words of a set were touched since its last
+   [delta_flush]; a [delta] is the flat [|w0; v0; w1; v1; ...|] array of
+   those words' current values. Merging a delta ORs the pairs in —
+   O(touched words) instead of O(capacity words). *)
+
+type delta = int array
+
+module Tracker = struct
+  type bitset = t
+
+  type t = {
+    mutable idx : int array; (* touched word indices, in mark order *)
+    mutable len : int;
+    seen : Bytes.t; (* per-word touched flag *)
+  }
+
+  let create (b : bitset) =
+    let words = Array.length b.words in
+    { idx = Array.make 8 0; len = 0; seen = Bytes.make (max 1 words) '\000' }
+
+  let copy tk =
+    { idx = Array.copy tk.idx; len = tk.len; seen = Bytes.copy tk.seen }
+
+  let mark tk w =
+    if Bytes.unsafe_get tk.seen w = '\000' then begin
+      Bytes.unsafe_set tk.seen w '\001';
+      let cap = Array.length tk.idx in
+      if tk.len = cap then begin
+        let bigger = Array.make (2 * cap) 0 in
+        Array.blit tk.idx 0 bigger 0 cap;
+        tk.idx <- bigger
+      end;
+      Array.unsafe_set tk.idx tk.len w;
+      tk.len <- tk.len + 1
+    end
+end
+
+type tracker = Tracker.t
+
+let tracker b = Tracker.create b
+let tracker_copy = Tracker.copy
+let tracker_pending (tk : tracker) = tk.Tracker.len
+
+let set_tracked b tk i =
+  check b i;
+  let w = i / 63 in
+  let bit = 1 lsl (i mod 63) in
+  let v = Array.unsafe_get b.words w in
+  if v land bit = 0 then begin
+    Array.unsafe_set b.words w (v lor bit);
+    b.count <- b.count + 1;
+    Tracker.mark tk w
+  end
+
+let union_into_tracked ~dst tk src =
+  if dst.n <> src.n then
+    invalid_arg "Bitset.union_into_tracked: capacity mismatch";
+  if src.count = 0 || dst.count = dst.n then ()
+  else begin
+    let dw = dst.words and sw = src.words in
+    let added = ref 0 in
+    for i = 0 to Array.length dw - 1 do
+      let a = Array.unsafe_get dw i in
+      let v = a lor Array.unsafe_get sw i in
+      if v <> a then begin
+        Array.unsafe_set dw i v;
+        added := !added + popcount (v lxor a);
+        Tracker.mark tk i
+      end
+    done;
+    dst.count <- dst.count + !added
+  end
+
+let empty_delta : delta = [||]
+
+let delta_flush b tk =
+  let open Tracker in
+  if tk.len = 0 then empty_delta
+  else begin
+    let d = Array.make (2 * tk.len) 0 in
+    for k = 0 to tk.len - 1 do
+      let w = Array.unsafe_get tk.idx k in
+      Array.unsafe_set d (2 * k) w;
+      Array.unsafe_set d ((2 * k) + 1) (Array.unsafe_get b.words w);
+      Bytes.unsafe_set tk.seen w '\000'
+    done;
+    tk.len <- 0;
+    d
+  end
+
+let delta_words (dl : delta) = Array.length dl / 2
+
+let apply_delta_gen ~dst (dl : delta) tk =
+  let dw = dst.words in
+  let nw = Array.length dw in
+  let added = ref 0 in
+  let k = ref 0 in
+  let len = Array.length dl in
+  while !k < len do
+    let w = Array.unsafe_get dl !k in
+    if w < 0 || w >= nw then invalid_arg "Bitset.apply_delta: word out of range";
+    let v = Array.unsafe_get dl (!k + 1) in
+    let a = Array.unsafe_get dw w in
+    let nv = a lor v in
+    if nv <> a then begin
+      Array.unsafe_set dw w nv;
+      added := !added + popcount (nv lxor a);
+      match tk with Some tk -> Tracker.mark tk w | None -> ()
+    end;
+    k := !k + 2
+  done;
+  dst.count <- dst.count + !added
+
+let apply_delta ~dst dl = apply_delta_gen ~dst dl None
+let apply_delta_tracked ~dst tk dl = apply_delta_gen ~dst dl (Some tk)
 
 let pp ppf b =
   Format.fprintf ppf "{%a}/%d"

@@ -68,3 +68,58 @@ val of_list : int -> int list -> t
 
 val pp : Format.formatter -> t -> unit
 (** Renders as e.g. [{0,3,7}/16] (set indices / capacity). *)
+
+(** {2 Delta wire encoding}
+
+    The sparse payload format of the engine's delta-wire optimization
+    (docs/PERFORMANCE.md): instead of broadcasting a full O(t/63)-word
+    copy of a knowledge set, a sender broadcasts only the words touched
+    since its previous broadcast. A {!tracker} records touched word
+    indices as the set mutates; {!delta_flush} snapshots their current
+    values into a {!type-delta} and resets the tracker; {!apply_delta}
+    ORs a delta into a receiver's set in O(touched words).
+
+    Merging a delta equals merging a full copy {e only when} the
+    receiver has already merged every earlier flush from the same
+    sender — a protocol property the engine guarantees on reliable
+    FIFO constant-latency runs (see {!Config.wire}), never checked
+    here. *)
+
+type delta
+(** A flushed set of touched words: pairs of (word index, word value). *)
+
+type tracker
+(** Mutable record of which words of one bitset were touched since the
+    last flush. A tracker is bound to the capacity of the set it was
+    created from; using it with a different-capacity set is unchecked. *)
+
+val tracker : t -> tracker
+(** A fresh tracker for [b], with nothing marked. *)
+
+val tracker_copy : tracker -> tracker
+(** Independent duplicate — required by [Algorithm.S.copy] so adversary
+    lookahead clones cannot consume the original's pending delta. *)
+
+val tracker_pending : tracker -> int
+(** Words currently marked (0 after a flush). *)
+
+val set_tracked : t -> tracker -> int -> unit
+(** {!set}, also marking the touched word in the tracker. *)
+
+val union_into_tracked : dst:t -> tracker -> t -> unit
+(** {!union_into}, also marking every word that gained a bit. *)
+
+val delta_flush : t -> tracker -> delta
+(** Snapshot the marked words' current values of [b] and reset the
+    tracker. Flushing with nothing marked returns an empty delta. *)
+
+val delta_words : delta -> int
+(** Number of (index, value) pairs carried. *)
+
+val apply_delta : dst:t -> delta -> unit
+(** OR the delta's words into [dst], maintaining {!cardinal}. Word
+    indices beyond [dst]'s capacity raise [Invalid_argument]. *)
+
+val apply_delta_tracked : dst:t -> tracker -> delta -> unit
+(** {!apply_delta}, also marking every word that gained a bit — the
+    receive path of a processor that itself re-broadcasts deltas. *)

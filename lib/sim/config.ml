@@ -1,18 +1,22 @@
 (* See config.mli. *)
 
+type wire = Full | Delta
+
 type t = {
   p : int;
   t : int;
   seed : int;
   record_trace : bool;
+  wire : wire;
 }
 
-let make ?(seed = 0) ?(record_trace = false) ~p ~t () =
+let make ?(seed = 0) ?(record_trace = false) ?(wire = Full) ~p ~t () =
   if p <= 0 then invalid_arg "Config.make: p must be positive";
   if t <= 0 then invalid_arg "Config.make: t must be positive";
-  { p; t; seed; record_trace }
+  { p; t; seed; record_trace; wire }
 
 let with_seed cfg seed = { cfg with seed }
+let with_wire cfg wire = { cfg with wire }
 
 let pp ppf cfg =
   Format.fprintf ppf "p=%d t=%d seed=%d" cfg.p cfg.t cfg.seed

@@ -7,16 +7,36 @@
     environment, supplied to {!Engine.run} alongside the adversary — the
     type system makes it impossible for an algorithm to peek at it. *)
 
+(** Wire encoding of knowledge payloads — a transport optimization the
+    {e engine} selects, not an algorithm choice. [Full]: every broadcast
+    carries a complete copy of the sender's knowledge sets (the paper's
+    reading, always correct). [Delta]: a broadcast carries only the
+    words touched since the sender's previous broadcast
+    ({!Bitset.delta_flush}). The two are observationally identical —
+    every receiver ends each step with exactly the same knowledge — but
+    only when every earlier broadcast of the same sender has already
+    been merged, which holds on reliable FIFO runs: constant declared
+    latency ({!Adversary.latency}), no fault injection, no crash
+    recovery. The engine enables [Delta] exactly under those conditions;
+    algorithms just honour whichever encoding the config carries. *)
+type wire = Full | Delta
+
 type t = private {
   p : int;  (** number of processors, with pids [0..p-1] *)
   t : int;  (** number of tasks, with ids [0..t-1] *)
   seed : int;  (** master seed; all randomness in a run derives from it *)
   record_trace : bool;  (** record per-event traces (costs memory) *)
+  wire : wire;  (** knowledge payload encoding (engine-managed) *)
 }
 
-val make : ?seed:int -> ?record_trace:bool -> p:int -> t:int -> unit -> t
-(** Validates [p >= 1] and [t >= 1]. *)
+val make :
+  ?seed:int -> ?record_trace:bool -> ?wire:wire -> p:int -> t:int -> unit -> t
+(** Validates [p >= 1] and [t >= 1]. [wire] defaults to [Full]. *)
 
 val with_seed : t -> int -> t
+
+val with_wire : t -> wire -> t
+(** Used by the engine to switch delta-safe runs to the sparse
+    encoding; see {!type-wire} for when that is sound. *)
 
 val pp : Format.formatter -> t -> unit

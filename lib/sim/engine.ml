@@ -51,6 +51,15 @@ module Make (A : Algorithm.S) = struct
     cfg : Config.t;
     d : int;
     adv : Adversary.t;
+    stream : bool;
+        (* constant-latency fast path: declared Fixed/Maximal latency, no
+           fault injection, no crash recovery. Broadcasts become one
+           shared Bcast record instead of p-1 sends, knowledge payloads
+           ride the Delta wire, and permanently-stopped pids are
+           deactivated so shared storage is reclaimed. Bit-identical to
+           the general path by construction (pinned by the golden grid
+           and the stream equivalence tests). *)
+    stream_delta : int; (* the declared constant, clamped into [1..d] *)
     states : A.state array;
     net : A.msg Network.t;
     global_done : Bitset.t;
@@ -112,11 +121,33 @@ module Make (A : Algorithm.S) = struct
     let probe =
       match probe with Some pr -> pr | None -> Probe.create ~enabled:false ()
     in
+    let stream_delta =
+      let constant =
+        match adversary.Adversary.latency with
+        | Adversary.Fixed k -> Some (max 1 (min d k))
+        | Adversary.Maximal -> Some d
+        | Adversary.Variable -> None
+      in
+      let reliable =
+        (match adversary.Adversary.faults with None -> true | Some _ -> false)
+        && match adversary.Adversary.restart with
+           | None -> true
+           | Some _ -> false
+      in
+      match constant with Some k when reliable -> k | _ -> -1
+    in
+    let stream = stream_delta >= 0 in
+    (* Constant latency + reliable FIFO channels is exactly when delta
+       payloads are exact (config.mli); switch the wire before states
+       are built so algorithms encode accordingly. *)
+    let cfg = if stream then Config.with_wire cfg Config.Delta else cfg in
     let eng =
       {
         cfg;
         d;
         adv = adversary;
+        stream;
+        stream_delta;
         states = Array.init p (fun pid -> A.init cfg ~pid);
         net = Network.create ~horizon:d ~p ();
         global_done = Bitset.create cfg.Config.t;
@@ -251,6 +282,8 @@ module Make (A : Algorithm.S) = struct
           eng.alive.(pid) <- false;
           eng.live <- eng.live - 1;
           if not eng.halted.(pid) then unlink_eligible eng pid;
+          (* stream implies no restart policy: the crash is permanent *)
+          if eng.stream then Network.deactivate eng.net ~pid;
           if eng.done_seen.(pid) then eng.done_alive <- eng.done_alive - 1;
           if eng.cfg.Config.record_trace then
             Trace.add eng.trace (Trace.Crash { time = eng.time; pid })
@@ -351,9 +384,24 @@ module Make (A : Algorithm.S) = struct
     (match r.Algorithm.broadcast with
      | Some msg ->
        let p = eng.cfg.Config.p in
-       for dst = 0 to p - 1 do
-         if dst <> pid then send_one dst msg
-       done;
+       if eng.stream && p > 1 then begin
+         let delta = eng.stream_delta in
+         (* one shared record replaces the p-1 send_one calls; the
+            latency probe still sees p-1 samples of [delta], batched
+            through the same run-length registers *)
+         if eng.ins.obs_on then
+           if delta = !lat_v then lat_n := !lat_n + (p - 1)
+           else begin
+             Probe.observe_n eng.ins.i_latency !lat_v !lat_n;
+             lat_v := delta;
+             lat_n := p - 1
+           end;
+         Network.broadcast eng.net ~src:pid ~due:(eng.time + delta) msg
+       end
+       else
+         for dst = 0 to p - 1 do
+           if dst <> pid then send_one dst msg
+         done;
        if eng.cfg.Config.record_trace then
          Trace.add eng.trace
            (Trace.Broadcast { time = eng.time; src = pid; copies = p - 1 })
@@ -384,6 +432,8 @@ module Make (A : Algorithm.S) = struct
       eng.halted.(pid) <- true;
       eng.halted_count <- eng.halted_count + 1;
       unlink_eligible eng pid;
+      (* a stream run has no restart policy, so the halt is permanent *)
+      if eng.stream then Network.deactivate eng.net ~pid;
       if eng.cfg.Config.record_trace then
         Trace.add eng.trace (Trace.Halt { time = eng.time; pid })
     end;

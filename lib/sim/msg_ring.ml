@@ -1,0 +1,116 @@
+(* See msg_ring.mli. Layout: [horizon + 1] buckets (slot = due mod
+   buckets); each bucket is a circular struct-of-arrays FIFO with
+   power-of-two capacity, grown geometrically and reused thereafter —
+   zero allocation per message at steady state. The correctness argument
+   for bucket FIFOs being due-sorted is the same as Event_queue's. *)
+
+type 'msg bucket = {
+  mutable due : int array;
+  mutable src : int array;
+  mutable seq : int array;
+  mutable msg : 'msg array;
+  mutable head : int;
+  mutable len : int;
+}
+
+type 'msg t = {
+  slots : 'msg bucket array;
+  mutable cursor : int; (* every event due <= cursor has been popped *)
+  mutable count : int;
+  mutable hd : 'msg bucket; (* bucket found by the last successful peek *)
+  mutable filler : 'msg option; (* overwrites popped slots: no payload leak *)
+}
+
+let create ~horizon () =
+  if horizon < 1 then invalid_arg "Msg_ring.create: horizon must be >= 1";
+  let bucket () =
+    { due = [||]; src = [||]; seq = [||]; msg = [||]; head = 0; len = 0 }
+  in
+  let slots = Array.init (horizon + 1) (fun _ -> bucket ()) in
+  { slots; cursor = -1; count = 0; hd = slots.(0); filler = None }
+
+let size r = r.count
+
+let push b ~due ~src ~seq msg =
+  let cap = Array.length b.due in
+  if b.len = cap then begin
+    (* full (or never allocated): grow to the next power of two *)
+    let cap' = if cap = 0 then 4 else 2 * cap in
+    let due' = Array.make cap' 0
+    and src' = Array.make cap' 0
+    and seq' = Array.make cap' 0
+    and msg' = Array.make cap' msg in
+    for i = 0 to b.len - 1 do
+      let j = (b.head + i) land (cap - 1) in
+      due'.(i) <- b.due.(j);
+      src'.(i) <- b.src.(j);
+      seq'.(i) <- b.seq.(j);
+      msg'.(i) <- b.msg.(j)
+    done;
+    b.due <- due';
+    b.src <- src';
+    b.seq <- seq';
+    b.msg <- msg';
+    b.head <- 0
+  end;
+  let cap = Array.length b.due in
+  let at = (b.head + b.len) land (cap - 1) in
+  Array.unsafe_set b.due at due;
+  Array.unsafe_set b.src at src;
+  Array.unsafe_set b.seq at seq;
+  Array.unsafe_set b.msg at msg;
+  b.len <- b.len + 1
+
+let add r ~due ~src ~seq msg =
+  if due <= r.cursor then
+    invalid_arg "Msg_ring.add: ring event at or before the cursor";
+  (match r.filler with None -> r.filler <- Some msg | Some _ -> ());
+  push r.slots.(due mod Array.length r.slots) ~due ~src ~seq msg;
+  r.count <- r.count + 1
+
+let peek r ~now =
+  if r.count = 0 then begin
+    if now > r.cursor then r.cursor <- now;
+    false
+  end
+  else begin
+    let s = Array.length r.slots in
+    let found = ref false in
+    while (not !found) && r.cursor < now do
+      let t = r.cursor + 1 in
+      let b = Array.unsafe_get r.slots (t mod s) in
+      if b.len > 0 && Array.unsafe_get b.due b.head = t then begin
+        r.hd <- b;
+        found := true
+        (* leave [cursor] at [t - 1]: more events due at [t] may remain *)
+      end
+      else r.cursor <- t
+    done;
+    !found
+  end
+
+let head_due r = Array.unsafe_get r.hd.due r.hd.head
+let head_seq r = Array.unsafe_get r.hd.seq r.hd.head
+let head_src r = Array.unsafe_get r.hd.src r.hd.head
+let head_msg r = Array.unsafe_get r.hd.msg r.hd.head
+
+let pop r =
+  let b = r.hd in
+  (match r.filler with
+   | Some f -> Array.unsafe_set b.msg b.head f
+   | None -> assert false (* pop follows a successful peek *));
+  b.head <- (b.head + 1) land (Array.length b.due - 1);
+  b.len <- b.len - 1;
+  r.count <- r.count - 1
+
+let next_time r =
+  if r.count = 0 then None
+  else
+    (* each bucket FIFO is due-sorted, so its front is its minimum *)
+    Array.fold_left
+      (fun acc b ->
+        if b.len = 0 then acc
+        else
+          let t = Array.unsafe_get b.due b.head in
+          match acc with Some u -> Some (min t u) | None -> Some t)
+      None r.slots

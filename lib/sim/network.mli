@@ -27,6 +27,23 @@ val send : 'msg t -> src:int -> dst:int -> due:int -> 'msg -> unit
     [src] is recorded for tracing; self-sends are rejected
     ([Invalid_argument]) — a processor already knows its own state. *)
 
+val broadcast : 'msg t -> src:int -> due:int -> 'msg -> unit
+(** Queue one multicast from [src] to every other processor, all due at
+    the same absolute time — [p - 1] logical point-to-point messages
+    ({!sent} and {!pending} advance by [p - 1]), but stored as {e one}
+    shared record on horizon networks ({!Bcast}). Only valid when every
+    copy is genuinely due at once, i.e. under a declared-constant-latency
+    adversary; the engine's per-destination send loop remains the
+    general path. Delivery order is identical to [p - 1] individual
+    {!send}s issued at the same instant. *)
+
+val deactivate : 'msg t -> pid:int -> unit
+(** Declare that [pid] will never take another step (halted, or crashed
+    with no recovery adversary): shared broadcast storage stops waiting
+    for it. Messages already owed to [pid] still count in {!pending} —
+    exactly like undeliverable messages rotting in a per-destination
+    queue. No-op on heap-backed networks. *)
+
 val send_replica : 'msg t -> src:int -> dst:int -> due:int -> 'msg -> unit
 (** Like {!send} but without incrementing {!sent}: a network-level copy
     injected by a duplicating fault policy. The algorithm paid for one
@@ -48,7 +65,10 @@ val receive_iter : 'msg t -> dst:int -> now:int -> (int -> 'msg -> unit) -> unit
     intermediate list — the engine's per-step delivery path. *)
 
 val pending : 'msg t -> int
-(** Messages queued but not yet received. *)
+(** Messages queued but not yet received. O(1): maintained as an
+    incremental in-flight counter on send/broadcast/delivery, so the
+    engine's per-tick gauge sample no longer folds over all [p]
+    queues. *)
 
 val pending_for : 'msg t -> dst:int -> int
 

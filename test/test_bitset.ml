@@ -185,6 +185,113 @@ let prop_subset_iff_union_noop =
       Bitset.union_into ~dst:u a;
       Bitset.subset a b = Bitset.equal u b)
 
+let test_swar_popcount_edges () =
+  (* cardinal is backed by the branch-free SWAR popcount; pin it against
+     a naive per-bit count on the words that stress the 63-bit masking:
+     all-ones (every mask byte saturated), the top bit 62 alone (peeled
+     separately from the 62-bit SWAR body), and alternating patterns. *)
+  let cases =
+    [
+      ([], 0);
+      (List.init 63 Fun.id, 63); (* the all-ones word *)
+      ([ 62 ], 1); (* bit 62: outside the SWAR masks *)
+      ([ 0; 62 ], 2);
+      (List.filteri (fun i _ -> i mod 2 = 0) (List.init 63 Fun.id), 32);
+      (List.init 56 Fun.id, 56) (* saturates whole mask bytes *);
+    ]
+  in
+  List.iter
+    (fun (bits, expect) ->
+      let b = Bitset.of_list 63 bits in
+      check_int
+        (Printf.sprintf "popcount of %d bits" expect)
+        expect (Bitset.cardinal b))
+    cases;
+  (* multi-word: every residue class mod 7 over three words *)
+  let bits = List.filter (fun i -> i mod 7 = 0) (List.init 189 Fun.id) in
+  check_int "multi-word cardinal" (List.length bits)
+    (Bitset.cardinal (Bitset.of_list 189 bits))
+
+let test_copy_empty_skips_words () =
+  let b = Bitset.create 200 in
+  let c = Bitset.copy b in
+  check "copy of empty is empty" true (Bitset.is_empty c);
+  check_int "copy length" 200 (Bitset.length c);
+  (* the fresh array is genuinely independent *)
+  Bitset.set c 150;
+  check "original untouched" false (Bitset.mem b 150);
+  check_int "copy cardinal" 1 (Bitset.cardinal c)
+
+let test_tracker_delta_roundtrip () =
+  (* sender/receiver pair: every flush of the sender's touched words,
+     applied in order to a receiver that held the previous state, keeps
+     the receiver identical to the sender — the delta-wire invariant. *)
+  let n = 200 in
+  let sender = Bitset.create n in
+  let tk = Bitset.tracker sender in
+  let receiver = Bitset.create n in
+  let rng = Rng.create 11 in
+  for _round = 1 to 20 do
+    for _ = 1 to 5 do
+      Bitset.set_tracked sender tk (Rng.int rng n)
+    done;
+    let dl = Bitset.delta_flush sender tk in
+    check_int "flush resets the tracker" 0 (Bitset.tracker_pending tk);
+    Bitset.apply_delta ~dst:receiver dl;
+    check "receiver caught up" true (Bitset.equal sender receiver)
+  done;
+  (* an empty flush is the empty delta *)
+  check_int "no touches, no words" 0
+    (Bitset.delta_words (Bitset.delta_flush sender tk))
+
+let test_tracked_union_and_relay () =
+  (* union_into_tracked marks exactly the changed words, so a relay
+     (receive tracked, flush, forward) carries the union onward. *)
+  let n = 130 in
+  let a = Bitset.of_list n [ 0; 63; 100 ] in
+  let mid = Bitset.create n in
+  let tk = Bitset.tracker mid in
+  Bitset.union_into_tracked ~dst:mid tk a;
+  Bitset.set_tracked mid tk 64;
+  let dl = Bitset.delta_flush mid tk in
+  let far = Bitset.create n in
+  let far_tk = Bitset.tracker far in
+  Bitset.apply_delta_tracked ~dst:far far_tk dl;
+  check "relay reproduces the union" true (Bitset.equal mid far);
+  check "relay tracker saw the words" true (Bitset.tracker_pending far_tk > 0);
+  (* absorbing a subset touches nothing: the next flush is empty *)
+  Bitset.union_into_tracked ~dst:mid tk a;
+  check_int "absorbed union tracks no words" 0
+    (Bitset.delta_words (Bitset.delta_flush mid tk))
+
+let prop_delta_stream_equals_state =
+  QCheck2.Test.make
+    ~name:"chained delta flushes reconstruct the sender (tracker copies too)"
+    ~count:200
+    QCheck2.Gen.(
+      pair (int_range 1 150) (list_size (int_range 0 60) (int_range 0 1000)))
+    (fun (n, touches) ->
+      let sender = Bitset.create n in
+      let tk = Bitset.tracker sender in
+      let receiver = Bitset.create n in
+      let ok = ref true in
+      List.iteri
+        (fun i x ->
+          Bitset.set_tracked sender tk (x mod n);
+          if i mod 7 = 0 then begin
+            (* a lookahead clone must not consume the original's
+               pending delta *)
+            let clone = Bitset.tracker_copy tk in
+            ignore (Bitset.delta_flush (Bitset.copy sender) clone)
+          end;
+          if i mod 3 = 0 then begin
+            Bitset.apply_delta ~dst:receiver (Bitset.delta_flush sender tk);
+            if not (Bitset.equal sender receiver) then ok := false
+          end)
+        touches;
+      Bitset.apply_delta ~dst:receiver (Bitset.delta_flush sender tk);
+      !ok && Bitset.equal sender receiver)
+
 let suite =
   [
     Alcotest.test_case "create empty" `Quick test_create_empty;
@@ -205,7 +312,15 @@ let suite =
     Alcotest.test_case "full across words" `Quick test_full_multiword;
     Alcotest.test_case "first_missing scans words" `Quick
       test_first_missing_scans_words;
+    Alcotest.test_case "SWAR popcount edge words" `Quick
+      test_swar_popcount_edges;
+    Alcotest.test_case "copy of empty set" `Quick test_copy_empty_skips_words;
+    Alcotest.test_case "tracker/delta roundtrip" `Quick
+      test_tracker_delta_roundtrip;
+    Alcotest.test_case "tracked union relays" `Quick
+      test_tracked_union_and_relay;
     QCheck_alcotest.to_alcotest prop_cardinal_matches;
     QCheck_alcotest.to_alcotest prop_union_commutes_with_membership;
     QCheck_alcotest.to_alcotest prop_subset_iff_union_noop;
+    QCheck_alcotest.to_alcotest prop_delta_stream_equals_state;
   ]

@@ -156,7 +156,10 @@ let test_delay_clamped_to_d () =
   let absurd =
     { Adversary.fair with
       name = "absurd";
-      delay = (fun _ ~src:_ ~dst:_ -> 1_000_000_000) }
+      delay = (fun _ ~src:_ ~dst:_ -> 1_000_000_000);
+      (* keep the declaration honest so the stream fast path is also
+         exercised by the clamp *)
+      latency = Adversary.Fixed 1_000_000_000 }
   in
   let m1 = run (Algo_pa.make_det ()) ~p:6 ~t:24 ~d:5 ~adv:absurd in
   let m2 = run (Algo_pa.make_det ()) ~p:6 ~t:24 ~d:5 ~adv:Adversary.max_delay in
@@ -166,7 +169,8 @@ let test_delay_clamped_to_d () =
   let instant =
     { Adversary.fair with
       name = "instant";
-      delay = (fun _ ~src:_ ~dst:_ -> -3) }
+      delay = (fun _ ~src:_ ~dst:_ -> -3);
+      latency = Adversary.Fixed (-3) }
   in
   let m3 = run (Algo_pa.make_det ()) ~p:6 ~t:24 ~d:5 ~adv:instant in
   let m4 = run (Algo_pa.make_det ()) ~p:6 ~t:24 ~d:5 ~adv:Adversary.fair in

@@ -165,6 +165,42 @@ let prop_ring_matches_heap =
          = Event_queue.pop_all_due heap ~now:final
       && Event_queue.is_empty ring)
 
+let test_ring_large_horizon_matches_heap () =
+  (* The xl cells run the ring at d in the hundreds; pin the many-bucket
+     regime (bucket count, cursor walks over long empty stretches,
+     wrap-around with sparse occupancy) against the heap oracle. *)
+  List.iter
+    (fun horizon ->
+      let ring = Event_queue.create ~horizon () in
+      let heap = Event_queue.create () in
+      let rng = Rng.create (0xE0 + horizon) in
+      let now = ref 0 in
+      let seq = ref 0 in
+      for round = 1 to 400 do
+        let burst = Rng.int rng 4 in
+        for _ = 1 to burst do
+          incr seq;
+          let due = !now + 1 + Rng.int rng horizon in
+          Event_queue.add ring ~time:due !seq;
+          Event_queue.add heap ~time:due !seq
+        done;
+        (* long idle stretches force multi-bucket cursor walks *)
+        now := !now + if round mod 7 = 0 then horizon / 2 else Rng.int rng 3;
+        Alcotest.(check (list int))
+          (Printf.sprintf "h=%d round %d" horizon round)
+          (Event_queue.pop_all_due heap ~now:!now)
+          (Event_queue.pop_all_due ring ~now:!now)
+      done;
+      let final = !now + horizon + 1 in
+      Alcotest.(check (list int))
+        (Printf.sprintf "h=%d final drain" horizon)
+        (Event_queue.pop_all_due heap ~now:final)
+        (Event_queue.pop_all_due ring ~now:final);
+      Alcotest.(check bool)
+        (Printf.sprintf "h=%d empty" horizon)
+        true (Event_queue.is_empty ring))
+    [ 64; 257; 512 ]
+
 let prop_pop_all_due_partitions =
   QCheck2.Test.make ~name:"pop_all_due returns exactly the due items"
     ~count:200
@@ -211,6 +247,8 @@ let suite =
       test_ring_pop_due_single;
     Alcotest.test_case "drain_due = pop_all_due (both backends)" `Quick
       test_drain_matches_pop_all;
+    Alcotest.test_case "ring at large horizons = heap oracle" `Quick
+      test_ring_large_horizon_matches_heap;
     QCheck_alcotest.to_alcotest prop_ring_matches_heap;
     QCheck_alcotest.to_alcotest prop_pop_all_due_partitions;
     QCheck_alcotest.to_alcotest prop_delivery_order_monotone;

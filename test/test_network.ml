@@ -119,6 +119,153 @@ let test_bounded_horizon_network () =
   let sorted = List.sort (fun a b -> compare (key a) (key b)) got in
   check "due order respected" true (got = sorted)
 
+let test_broadcast_basic () =
+  (* One shared record, p-1 logical messages: everyone but the source
+     receives exactly one copy, and M/pending advance by p-1. *)
+  List.iter
+    (fun horizon ->
+      let net = Network.create ?horizon ~p:4 () in
+      Network.broadcast net ~src:1 ~due:3 "news";
+      check_int "sent = p-1" 3 (Network.sent net);
+      check_int "pending = p-1" 3 (Network.pending net);
+      Alcotest.(check (list (pair int string)))
+        "source gets nothing" []
+        (Network.receive net ~dst:1 ~now:10);
+      List.iter
+        (fun dst ->
+          Alcotest.(check (list (pair int string)))
+            (Printf.sprintf "dst %d" dst)
+            [ (1, "news") ]
+            (Network.receive net ~dst ~now:10))
+        [ 0; 2; 3 ];
+      check_int "drained" 0 (Network.pending net))
+    [ None; Some 8 ]
+
+let test_broadcast_merge_order () =
+  (* Shared-stream deliveries interleave with per-destination unicasts
+     exactly as if the broadcast had been p-1 individual sends: global
+     (due, send order). *)
+  let mk horizon =
+    let net = Network.create ?horizon ~p:3 () in
+    Network.send net ~src:2 ~dst:1 ~due:2 "u-first";
+    Network.broadcast net ~src:0 ~due:2 "b1";
+    Network.send net ~src:2 ~dst:1 ~due:2 "u-mid";
+    Network.broadcast net ~src:2 ~due:4 "b2";
+    Network.send net ~src:0 ~dst:1 ~due:3 "u-late";
+    net
+  in
+  let heap = Network.receive (mk None) ~dst:1 ~now:10 in
+  let ring = Network.receive (mk (Some 8)) ~dst:1 ~now:10 in
+  Alcotest.(check (list (pair int string)))
+    "heap order is the spec"
+    [ (2, "u-first"); (0, "b1"); (2, "u-mid"); (0, "u-late"); (2, "b2") ]
+    heap;
+  Alcotest.(check (list (pair int string))) "ring = heap" heap ring
+
+let test_broadcast_stream_growth () =
+  (* Keep more undelivered broadcasts in flight than the stream's
+     initial capacity, with a lagging reader: exercises the circular
+     grow + head reclaim while cursors straddle the buffer. *)
+  let net = Network.create ~horizon:512 ~p:3 () in
+  let fast = ref [] and slow = ref [] in
+  for now = 0 to 999 do
+    if now < 500 then begin
+      (* constant latency (the stream's contract) with ~400 records in
+         flight: well past the initial 64-slot capacity *)
+      Network.broadcast net ~src:0 ~due:(now + 400) now;
+      Network.broadcast net ~src:1 ~due:(now + 400) (1000 + now)
+    end;
+    (* dst 2 reads every step, dst 1 only rarely *)
+    Network.receive_iter net ~dst:2 ~now (fun _ msg -> fast := msg :: !fast);
+    if now mod 97 = 0 then
+      Network.receive_iter net ~dst:1 ~now (fun _ msg -> slow := msg :: !slow)
+  done;
+  ignore (Network.receive net ~dst:0 ~now:2000);
+  ignore (Network.receive net ~dst:1 ~now:2000);
+  ignore (Network.receive net ~dst:2 ~now:2000);
+  check_int "dst 2 saw every broadcast" 1000 (List.length !fast);
+  check_int "nothing pending" 0 (Network.pending net);
+  (* pairwise FIFO within each source's stream *)
+  let fifo src_tag msgs =
+    let own = List.filter (fun m -> m / 1000 = src_tag) (List.rev msgs) in
+    let rec increasing = function
+      | a :: (b :: _ as rest) -> a < b && increasing rest
+      | _ -> true
+    in
+    increasing own
+  in
+  check "src 0 FIFO at fast reader" true (fifo 0 !fast);
+  check "src 1 FIFO at fast reader" true (fifo 1 !fast)
+
+let test_broadcast_deactivate () =
+  let net = Network.create ~horizon:4 ~p:3 () in
+  Network.broadcast net ~src:0 ~due:2 "a";
+  Network.deactivate net ~pid:2;
+  Network.broadcast net ~src:0 ~due:3 "b";
+  (* the live destination still gets both *)
+  Alcotest.(check (list (pair int string)))
+    "live dst" [ (0, "a"); (0, "b") ]
+    (Network.receive net ~dst:1 ~now:10);
+  (* messages owed to the dead pid rot in pending, like an unread
+     per-destination queue *)
+  check_int "dead pid's copies still pending" 2 (Network.pending net);
+  check_int "sent unaffected" 4 (Network.sent net);
+  Network.deactivate net ~pid:2 (* idempotent *);
+  check_int "still pending after re-deactivate" 2 (Network.pending net)
+
+let test_broadcast_ring_matches_heap_random () =
+  (* Randomized mixed traffic: the shared-stream backend must deliver
+     exactly the heap backend's sequences at every destination. The
+     stream requires non-decreasing broadcast dues (constant-latency
+     traffic), so broadcasts use a fixed delta while unicasts roam. *)
+  let p = 5 in
+  let delta = 6 in
+  let heap = Network.create ~p () in
+  let ring = Network.create ~horizon:8 ~p () in
+  let rng = Rng.create 4242 in
+  let mismatch = ref false in
+  for now = 0 to 199 do
+    let burst = Rng.int rng 3 in
+    for _ = 1 to burst do
+      let src = Rng.int rng p in
+      if Rng.int rng 3 = 0 then begin
+        Network.broadcast heap ~src ~due:(now + delta) now;
+        Network.broadcast ring ~src ~due:(now + delta) now
+      end
+      else begin
+        let dst = (src + 1 + Rng.int rng (p - 1)) mod p in
+        let due = now + 1 + Rng.int rng 8 in
+        Network.send heap ~src ~dst ~due now;
+        Network.send ring ~src ~dst ~due now
+      end
+    done;
+    for dst = 0 to p - 1 do
+      if Network.receive heap ~dst ~now <> Network.receive ring ~dst ~now
+      then mismatch := true
+    done
+  done;
+  for dst = 0 to p - 1 do
+    if Network.receive heap ~dst ~now:300 <> Network.receive ring ~dst ~now:300
+    then mismatch := true
+  done;
+  check "ring = heap on mixed random traffic" false !mismatch;
+  check_int "same sent" (Network.sent heap) (Network.sent ring);
+  check_int "same pending" (Network.pending heap) (Network.pending ring)
+
+let test_broadcast_next_due_pending_for () =
+  let net = Network.create ~horizon:8 ~p:3 () in
+  Alcotest.(check (option int)) "empty" None (Network.next_due net ~dst:1);
+  Network.broadcast net ~src:0 ~due:7 "b";
+  Network.send net ~src:2 ~dst:1 ~due:9 "u";
+  Alcotest.(check (option int)) "min over stream and ring" (Some 7)
+    (Network.next_due net ~dst:1);
+  check_int "pending_for counts both" 2 (Network.pending_for net ~dst:1);
+  check_int "other dst sees only the broadcast" 1
+    (Network.pending_for net ~dst:2);
+  ignore (Network.receive net ~dst:1 ~now:7);
+  Alcotest.(check (option int)) "unicast remains" (Some 9)
+    (Network.next_due net ~dst:1)
+
 let suite =
   [
     Alcotest.test_case "send/receive with due time" `Quick test_send_receive;
@@ -136,4 +283,16 @@ let suite =
     Alcotest.test_case "next_due" `Quick test_next_due;
     Alcotest.test_case "reliable: no loss, no duplication" `Quick
       test_reliability;
+    Alcotest.test_case "broadcast: one record, p-1 messages" `Quick
+      test_broadcast_basic;
+    Alcotest.test_case "broadcast merges with unicasts in order" `Quick
+      test_broadcast_merge_order;
+    Alcotest.test_case "broadcast stream grows and reclaims" `Quick
+      test_broadcast_stream_growth;
+    Alcotest.test_case "broadcast to deactivated pid rots in pending" `Quick
+      test_broadcast_deactivate;
+    Alcotest.test_case "broadcast ring = heap on random traffic" `Quick
+      test_broadcast_ring_matches_heap_random;
+    Alcotest.test_case "broadcast next_due / pending_for" `Quick
+      test_broadcast_next_due_pending_for;
   ]
