@@ -374,6 +374,33 @@ let micro () =
            Bitset.iter_set b (fun i -> acc := !acc + i);
            ignore !acc))
   in
+  (* One epoch of delta traffic: 64 senders each flush a small tracked
+     delta of a 4096-bit knowledge set. The digest path folds them once
+     per epoch (union-many); the per-record path applies each delta at
+     every receiver (seq-apply measures one receiver's share, on the
+     steady-state absorbed sweep like bitset-union-absorbed above). *)
+  let digest_deltas =
+    Array.init 64 (fun s ->
+        let b = Bitset.create 4096 in
+        let tk = Bitset.tracker b in
+        for i = 0 to 7 do
+          Bitset.set_tracked b tk (((s * 131) + (i * 63)) mod 4096)
+        done;
+        Bitset.delta_flush b tk)
+  in
+  let digest_union_many =
+    Test.make ~name:"digest-union-many-64x8w"
+      (Staged.stage (fun () -> ignore (Bitset.union_many digest_deltas)))
+  in
+  let digest_seq_apply =
+    let dst = Bitset.create 4096 in
+    let tk = Bitset.tracker dst in
+    Test.make ~name:"digest-seq-apply-64x8w"
+      (Staged.stage (fun () ->
+           Array.iter
+             (fun dl -> Bitset.apply_delta_tracked ~dst tk dl)
+             digest_deltas))
+  in
   (* Steady-state delivery: one "tick" = 63 sends into the future plus a
      drain of what is due now, mimicking a broadcast to p-1 = 63 peers.
      The ring and heap variants run identical traffic. *)
@@ -470,6 +497,8 @@ let micro () =
         bitset_union_absorbed;
         bitset_first_missing;
         bitset_iter_set;
+        digest_union_many;
+        digest_seq_apply;
         equeue_ring;
         equeue_heap;
         dlrm;
@@ -620,6 +649,24 @@ let xl_speedup_cells =
     ("da-q4", 0.094, (8960, 130560, 34), false);
   ]
 
+(* Per-cell BENCH_3-engine reference walls (stream + delta wire, before
+   epoch-digest delivery; same reference container, 2026-08-08) and
+   golden-pinned metrics, keyed like xl_scenarios. Full cells from
+   BENCH_3.json; quick cells measured on the BENCH_3 engine at the same
+   commit. [gate] is the required wall-clock ratio: the regression gate
+   on --quick cells fails CI when a cell runs > 1.5x SLOWER than the
+   reference (ratio 1/1.5), and the paran1/t=1e6 headline cell must run
+   >= 3x FASTER (the PR's acceptance criterion); None = report-only. *)
+let xl_bench3_reference =
+  [
+    ("paran1/max-delay/p256/t1000000/d16", 455.555, (3007744, 766971405, 11748), Some 3.0);
+    ("da-q4/max-delay/p256/t1000000/d16", 20.265, (1005056, 130560, 3925), None);
+    ("da-q4/max-delay/p16384/t16384/d8", 106.715, (245760, 1878933504, 14), None);
+    ("paran1/max-delay/p16384/t2048/d8", 60.296, (147456, 2415214626, 8), None);
+    ("da-q4/max-delay/p256/t131072/d8", 0.840, (133888, 130560, 522), Some (1.0 /. 1.5));
+    ("paran1/max-delay/p2048/t1024/d8", 0.845, (22528, 46102534, 10), Some (1.0 /. 1.5));
+  ]
+
 let xl ~quick ~out () =
   let quick_ceiling_s = 60.0 in
   let fail = ref false in
@@ -661,6 +708,66 @@ let xl ~quick ~out () =
      high-water mark, so readings are cumulative; cells run \
      smallest-memory-first to keep them attributable";
   emit_named "xl-cells" tbl;
+  (* -- epoch-digest arm: every cell against its BENCH_3-engine wall.
+        Runs in both modes; on --quick this is the CI perf-regression
+        gate (fail when a cell runs > 1.5x slower than the committed
+        reference), and on full runs the paran1/t=1e6 headline cell
+        must clear its 3x floor. -- *)
+  let b3_tbl =
+    Table.create ~title:"xl: vs BENCH_3 engine (epoch-digest delivery)"
+      ~columns:[ "scenario"; "wall_s"; "bench3_s"; "speedup"; "metrics"; "gate" ]
+  in
+  let bench3_rows =
+    List.filter_map
+      (fun (key, _, _, _, _, _, (m : Metrics.t), wall, _) ->
+        match
+          List.find_opt (fun (k, _, _, _) -> k = key) xl_bench3_reference
+        with
+        | None -> None
+        | Some (_, bench3_s, (w_pin, m_pin, s_pin), gate) ->
+          let pinned =
+            m.Metrics.work = w_pin
+            && m.Metrics.messages = m_pin
+            && m.Metrics.sigma = s_pin
+          in
+          let speedup = bench3_s /. wall in
+          if not pinned then begin
+            Printf.eprintf
+              "FATAL: %s metrics diverged from the BENCH_3 pins (W=%d M=%d \
+               sigma=%d, expected W=%d M=%d sigma=%d)\n"
+              key m.Metrics.work m.Metrics.messages m.Metrics.sigma w_pin
+              m_pin s_pin;
+            fail := true
+          end;
+          (match gate with
+           | Some g when speedup < g ->
+             Printf.eprintf
+               "FATAL: %s wall-clock ratio %.2fx below the %.2fx gate \
+                (BENCH_3 engine %.3fs, now %.3fs)\n"
+               key speedup g bench3_s wall;
+             fail := true
+           | Some _ | None -> ());
+          Table.add_row b3_tbl
+            [
+              key;
+              Printf.sprintf "%.3f" wall;
+              Printf.sprintf "%.3f" bench3_s;
+              Printf.sprintf "%.2fx" speedup;
+              (if pinned then "pinned" else "DIVERGED");
+              (match gate with
+               | Some g -> Printf.sprintf ">=%.2fx" g
+               | None -> "report-only");
+            ];
+          Some (key, wall, bench3_s, speedup, pinned, gate))
+      cell_results
+  in
+  Table.add_note b3_tbl
+    "bench3_s: the same cell on the stream+delta engine before epoch-digest \
+     delivery (BENCH_3.json for full cells; quick cells measured at the \
+     same commit). The quick cells' 0.67x floor is the CI \
+     perf-regression gate; the paran1/t=1e6 3x floor is the epoch-digest \
+     acceptance criterion.";
+  emit_named "xl-bench3" b3_tbl;
   (* -- speedup arm vs BENCH_1 -- *)
   let speedups =
     if quick then []
@@ -757,28 +864,43 @@ let xl ~quick ~out () =
         ("gated_1_5x", Json.Bool gated);
       ]
   in
+  let bench3_json (key, wall, bench3_s, speedup, pinned, gate) =
+    Json.Obj
+      ([
+         ("scenario", Json.Str key);
+         ("wall_s", Json.Float wall);
+         ("bench3_wall_s", Json.Float bench3_s);
+         ("speedup_vs_bench3", Json.Float speedup);
+         ("metrics_pinned", Json.Bool pinned);
+       ]
+      @
+      match gate with
+      | Some g -> [ ("gate_min_ratio", Json.Float g) ]
+      | None -> [])
+  in
   let doc =
     Json.Obj
       [
-        ("bench", Json.Int 3);
+        ("bench", Json.Int 4);
         ( "description",
           Json.Str
-            "scale-wall cells (p=16384 fleets, t=1e6 task sets) unlocked by \
-             the shared-broadcast stream + delta payloads, plus the BENCH_1 \
-             headline cells re-measured; third point of the perf trajectory"
-        );
+            "scale-wall cells re-measured under epoch-digest delivery (one \
+             shared union per tick instead of p-1 per-receiver applies), \
+             gated against the BENCH_3 engine per cell, plus the BENCH_1 \
+             headline arm; fourth point of the perf trajectory" );
         ("quick", Json.Bool quick);
         ( "baseline",
           Json.Obj
             [
-              ("bench", Json.Str "BENCH_1.json");
+              ("bench", Json.Str "BENCH_3.json");
               ( "engine",
                 Json.Str
-                  "per-destination delivery: one calendar-ring insertion and \
-                   one full-snapshot payload per (broadcast, destination)" );
-              ("measured", Json.Str "2026-08-06");
+                  "shared-broadcast stream + delta payloads, per-receiver \
+                   payload applies (before epoch-digest delivery)" );
+              ("measured", Json.Str "2026-08-08");
             ] );
         ("cells", Json.List (List.map cell_json cell_results));
+        ("bench3_speedup", Json.List (List.map bench3_json bench3_rows));
         ("bench1_speedup", Json.List (List.map speedup_json speedups));
       ]
   in
@@ -797,7 +919,7 @@ let list_experiments () =
   print_string "micro  Bechamel microbenchmarks (bitsets, event queues, engine cells)\n";
   print_string "perf   wall-clock grid + parallel-grid speedup, writes BENCH_2.json\n";
   print_string "obs    probe overhead on the paper-scale cell (target < 5%)\n";
-  print_string "xl     scale-wall cells (p=16384, t=1e6) + BENCH_1 speedup gate, writes BENCH_3.json\n"
+  print_string "xl     scale-wall cells (p=16384, t=1e6) + BENCH_3/BENCH_1 speedup gates, writes BENCH_4.json\n"
 
 let unknown id =
   Printf.eprintf "unknown experiment %S; known experiments:\n" id;
@@ -859,7 +981,7 @@ let () =
         if id = "micro" then micro ()
         else if id = "perf" then perf ~quick:!quick ~out:(out "BENCH_2.json") ()
         else if id = "obs" then obs_overhead ~quick:!quick ()
-        else if id = "xl" then xl ~quick:!quick ~out:(out "BENCH_3.json") ()
+        else if id = "xl" then xl ~quick:!quick ~out:(out "BENCH_4.json") ()
         else
           match Exp.find id with
           | Some e ->

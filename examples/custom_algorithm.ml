@@ -38,6 +38,20 @@ module Greedy : Algorithm.S = struct
   (* receive must be monotone: merge, never forget. *)
   let receive st ~src:_ msg = Bitset.union_into ~dst:st.know msg
 
+  (* receive is a pure union that never reads src, so we may declare it
+     merge-homomorphic: on constant-delay runs the engine folds all
+     broadcasts of a step into one digest and delivers it once per
+     receiver instead of p - 1 times. Declare None if unsure — it is
+     only ever a performance hint, never a correctness requirement. *)
+  let merge_homomorphic =
+    Some
+      (fun msgs ->
+        let acc = Bitset.copy msgs.(0) in
+        for i = 1 to Array.length msgs - 1 do
+          Bitset.union_into ~dst:acc msgs.(i)
+        done;
+        acc)
+
   let is_done st = Bitset.is_full st.know
   let done_tasks st = st.know
 

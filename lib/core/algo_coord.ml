@@ -59,6 +59,12 @@ let make ?(patience = 8) () : Algorithm.packed =
 
     let is_done st = Bitset.is_full st.know
     let done_tasks st = st.know
+
+    (* Not a union: [receive] branches on the message kind, the epoch
+       counter, and [src] (coordinator report accounting) — folding an
+       epoch of messages would lose Assign/Report semantics. *)
+    let merge_homomorphic = None
+
     let coordinator_of st epoch = epoch mod st.p
     let am_coordinator st = coordinator_of st st.epoch = st.pid
 

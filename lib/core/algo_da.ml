@@ -24,6 +24,29 @@ let default_psi ~q =
 type payload = Know of Bitset.t | Delta of Bitset.delta
 type msg = { m_tree : payload; m_tasks : payload }
 
+(* Union one epoch's worth of one replica component — the digest half
+   of [merge_homomorphic] below, applied to tree and tasks alike. *)
+let fold_payloads (ps : payload array) : payload =
+  if Array.for_all (function Delta _ -> true | Know _ -> false) ps then
+    Delta
+      (Bitset.union_many
+         (Array.map (function Delta dl -> dl | Know _ -> assert false) ps))
+  else begin
+    let cap =
+      Array.fold_left
+        (fun acc -> function
+          | Know b -> max acc (Bitset.length b) | Delta _ -> acc)
+        0 ps
+    in
+    let acc = Bitset.create cap in
+    Array.iter
+      (function
+        | Know b -> Bitset.union_into ~dst:acc b
+        | Delta dl -> Bitset.apply_delta ~dst:acc dl)
+      ps;
+    Know acc
+  end
+
 type frame = {
   node : int;
   depth : int;
@@ -150,6 +173,17 @@ let make ?(q = 4) ?psi () : Algorithm.packed =
         (match msg.m_tasks with
          | Know b -> Bitset.union_into ~dst:st.know b
          | Delta dl -> Bitset.apply_delta ~dst:st.know dl)
+
+    (* Both components of [receive] are src-independent monotone unions
+       into disjoint sets, so folding an epoch componentwise delivers
+       exactly what the per-record walk would (algorithm.mli). *)
+    let merge_homomorphic =
+      Some
+        (fun msgs ->
+          {
+            m_tree = fold_payloads (Array.map (fun m -> m.m_tree) msgs);
+            m_tasks = fold_payloads (Array.map (fun m -> m.m_tasks) msgs);
+          })
 
     let is_done st = Bitset.is_full st.know
     let done_tasks st = st.know

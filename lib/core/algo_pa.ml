@@ -51,6 +51,13 @@ let make_variant ?(gossip = `Full) ?(broadcast_every = 1) ?fanout variant :
       mutable pos : int;
       rng : Rng.t;
       mutable current : int option; (* job in progress *)
+      mutable cur_lo : int;
+        (* Scan cursor into the current job: every member below it is
+           known done. Knowledge is monotone, so the cursor only ever
+           advances — [select] keeps it on the job's first unknown
+           member, turning the per-step job scan from O(known prefix)
+           into O(new gains) amortized. Meaningful only while [current]
+           is [Some _]. *)
       mutable performed_steps : int; (* for broadcast throttling *)
       mutable halted : bool;
     }
@@ -92,6 +99,7 @@ let make_variant ?(gossip = `Full) ?(broadcast_every = 1) ?fanout variant :
         pos;
         rng;
         current = None;
+        cur_lo = 0;
         performed_steps = 0;
         halted = false;
       }
@@ -111,16 +119,65 @@ let make_variant ?(gossip = `Full) ?(broadcast_every = 1) ?fanout variant :
       | Know b, Some tk -> Bitset.union_into_tracked ~dst:st.know tk b
       | Delta dl, Some tk -> Bitset.apply_delta_tracked ~dst:st.know tk dl
       | Delta dl, None -> Bitset.apply_delta ~dst:st.know dl
+
+    (* [receive] never reads [src] and only ORs payload bits into
+       [know]: a source-independent monotone union for every variant,
+       so one epoch of broadcasts may be pre-folded (algorithm.mli). *)
+    let merge_homomorphic =
+      Some
+        (fun msgs ->
+          if Array.for_all (function Delta _ -> true | Know _ -> false) msgs
+          then
+            Delta
+              (Bitset.union_many
+                 (Array.map
+                    (function Delta dl -> dl | Know _ -> assert false)
+                    msgs))
+          else begin
+            (* any [Know] payload (`Single gossip): union into a fresh
+               full-capacity set *)
+            let cap =
+              Array.fold_left
+                (fun acc -> function
+                  | Know b -> max acc (Bitset.length b) | Delta _ -> acc)
+                0 msgs
+            in
+            let acc = Bitset.create cap in
+            Array.iter
+              (function
+                | Know b -> Bitset.union_into ~dst:acc b
+                | Delta dl -> Bitset.apply_delta ~dst:acc dl)
+              msgs;
+            Know acc
+          end)
+
     let is_done st = Bitset.is_full st.know
     let done_tasks st = st.know
 
+    let job_end st j = snd st.part.Task.task_ranges.(j)
+
+    (* Advance the cursor to job [j]'s first unknown member; false when
+       the job is finished. Equivalent to [not (Task.job_done ...)] but
+       amortized O(gains) across a job's lifetime instead of a fresh
+       known-prefix rescan per step. *)
+    let current_pending st j =
+      st.cur_lo <- Task.first_unknown st.part st.know j ~from:st.cur_lo;
+      st.cur_lo < job_end st j
+
     (* Select: the next job to work on, or None when everything this
-       processor can see is done. *)
+       processor can see is done. Leaves [cur_lo] on the returned job's
+       first unknown member. *)
     let select st =
       match st.current with
-      | Some j when not (Task.job_done st.part st.know j) -> Some j
+      | Some j when current_pending st j -> Some j
       | Some _ | None -> (
         st.current <- None;
+        let pick j =
+          st.cur_lo <-
+            Task.first_unknown st.part st.know j
+              ~from:(fst st.part.Task.task_ranges.(j));
+          Some j
+        in
         match variant with
         | Ran1 | Det _ ->
           let n = Array.length st.order in
@@ -129,7 +186,7 @@ let make_variant ?(gossip = `Full) ?(broadcast_every = 1) ?fanout variant :
           do
             st.pos <- st.pos + 1
           done;
-          if st.pos < n then Some st.order.(st.pos) else None
+          if st.pos < n then pick st.order.(st.pos) else None
         | Ran2 ->
           (* Uniform among not-known-done jobs: draw from the pool,
              lazily evicting jobs discovered done. *)
@@ -144,7 +201,7 @@ let make_variant ?(gossip = `Full) ?(broadcast_every = 1) ?fanout variant :
             end
             else found := Some j
           done;
-          !found)
+          Option.fold ~none:None ~some:pick !found)
 
     let step st =
       if st.halted then Algorithm.nothing
@@ -158,15 +215,15 @@ let make_variant ?(gossip = `Full) ?(broadcast_every = 1) ?fanout variant :
           (* All jobs known done but [is_done] false cannot happen (the
              partition covers every task); defensive no-op. *)
           Algorithm.nothing
-        | Some j -> (
-          match Task.next_member st.part st.know j with
-          | None -> Algorithm.nothing (* unreachable: select checked *)
-          | Some z ->
+        | Some j ->
+          if st.cur_lo >= job_end st j then
+            Algorithm.nothing (* unreachable: select checked *)
+          else begin
+            let z = st.cur_lo in
             (match st.tracker with
              | Some tk -> Bitset.set_tracked st.know tk z
              | None -> Bitset.set st.know z);
-            st.current <-
-              (if Task.job_done st.part st.know j then None else Some j);
+            st.current <- (if current_pending st j then Some j else None);
             st.performed_steps <- st.performed_steps + 1;
             (* Throttling (extension, cf. the paper's closing open
                problem): broadcast every k-th performing step, plus
@@ -208,7 +265,8 @@ let make_variant ?(gossip = `Full) ?(broadcast_every = 1) ?fanout variant :
                 in
                 Algorithm.result ~performed:z ~unicasts ()
             end
-            else Algorithm.result ~performed:z ())
+            else Algorithm.result ~performed:z ()
+          end
   end)
 
 let make_ran1 ?gossip ?broadcast_every ?fanout () =

@@ -20,6 +20,9 @@ let make ?(staggered = true) () : Algorithm.packed =
 
     let copy st = { st with know = Bitset.copy st.know }
     let receive _ ~src:_ () = ()
+
+    (* Silent algorithm: no broadcasts, nothing to digest. *)
+    let merge_homomorphic = None
     let is_done st = Bitset.is_full st.know
     let done_tasks st = st.know
 

@@ -158,6 +158,9 @@ let make ~psi () : Algorithm.packed =
 
     let copy st = { st with know = Bitset.copy st.know }
     let receive _ ~src:_ () = ()
+
+    (* Oblivious: never broadcasts, so there is nothing to digest. *)
+    let merge_homomorphic = None
     let is_done st = Bitset.is_full st.know
     let done_tasks st = st.know
 

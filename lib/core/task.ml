@@ -56,6 +56,13 @@ let next_member part know j =
   in
   go lo
 
+let first_unknown part know j ~from =
+  check_job part j;
+  let lo, hi = part.task_ranges.(j) in
+  let z = ref (max lo from) in
+  while !z < hi && Bitset.mem know !z do incr z done;
+  !z
+
 let jobs_done_count part know =
   let c = ref 0 in
   for j = 0 to part.n - 1 do

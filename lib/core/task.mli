@@ -29,4 +29,14 @@ val job_done : partition -> Doall_sim.Bitset.t -> int -> bool
 val next_member : partition -> Doall_sim.Bitset.t -> int -> int option
 (** First member task of the job not in the knowledge set. *)
 
+val first_unknown : partition -> Doall_sim.Bitset.t -> int -> from:int -> int
+(** [first_unknown part know j ~from] is the first member task of job
+    [j] at index [>= from] not in [know], or the job's end bound when
+    every remaining member is known. Knowledge sets are monotone (bits
+    are never cleared), so a caller that scans a job repeatedly can
+    carry the returned index as a cursor and make the total scan cost
+    O(job size) instead of O(job size) {e per call} — the difference
+    between [next_member] and this under a long run is the whole
+    known-prefix rescan on every step. *)
+
 val jobs_done_count : partition -> Doall_sim.Bitset.t -> int

@@ -783,6 +783,10 @@ module Bad_early_halt : Algorithm.S = struct
 
   let copy st = { st with know = Bitset.copy st.know }
   let receive st ~src:_ msg = Bitset.union_into ~dst:st.know msg
+
+  (* Keep the buggy exemplar on the per-record path: the oracle test
+     pins its exact failure mode. *)
+  let merge_homomorphic = None
   let is_done st = Bitset.is_full st.know
   let done_tasks st = st.know
 

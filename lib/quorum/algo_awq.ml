@@ -135,6 +135,10 @@ let make ?(q = 4) ?psi ?(quorum = fun ~p -> Quorum.majority ~p)
     let is_done st = Bitset.is_full st.know
     let done_tasks st = st.know
 
+    (* Request/response protocol: [receive] generates directed replies
+       keyed by [src] and per-operation timestamps — not a union. *)
+    let merge_homomorphic = None
+
     (* A node bit at 1 proves every task in its subtree performed (the
        writer completed the subtree before writing); fold that proof into
        local knowledge. *)

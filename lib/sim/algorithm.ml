@@ -22,6 +22,7 @@ module type S = sig
   val init : Config.t -> pid:int -> state
   val copy : state -> state
   val receive : state -> src:int -> msg -> unit
+  val merge_homomorphic : (msg array -> msg) option
   val step : state -> msg step_result
   val is_done : state -> bool
   val done_tasks : state -> Bitset.t

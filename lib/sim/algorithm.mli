@@ -61,6 +61,25 @@ module type S = sig
   (** Merge one received message into local knowledge. Must be monotone:
       receiving can only add knowledge. *)
 
+  val merge_homomorphic : (msg array -> msg) option
+  (** The merge-homomorphism capability behind the engine's epoch-digest
+      delivery fast path (docs/PERFORMANCE.md). [Some fold] declares
+      that {!receive} is a {e source-independent monotone union}: for
+      any state [st] and any batch [ms] of messages published in one
+      engine step, delivering [fold ms] once leaves [st] exactly as
+      delivering every element of [ms] would, in any order, under any
+      [src] values — and [receive] never reads [src]. Under that
+      contract the engine pre-folds all broadcasts of an epoch into one
+      digest and applies it once per receiver (O(p + digest words) per
+      tick instead of O(p²) payload applies); the digest is delivered
+      with [src = -1], and a receiver's own epoch contribution may be
+      included (it is a subset of its own knowledge, so union-only
+      algorithms need no correction). Algorithms whose receive handler
+      is not a pure union — coordinator rounds, view-dependent replies,
+      anything that branches on [src] — must declare [None] and keep
+      the per-record path. [fold] is only ever called with at least one
+      message, all published at the same send step of one stream run. *)
+
   val step : state -> msg step_result
   (** One local step. Must eventually reach [is_done] in any fair
       execution where all tasks get performed and all messages arrive. *)

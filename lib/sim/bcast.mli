@@ -25,8 +25,19 @@
 
 type 'msg t
 
-val create : p:int -> unit -> 'msg t
-(** A stream for destinations [0..p-1], all initially active. *)
+val create : ?fold:('msg array -> 'msg) -> p:int -> unit -> 'msg t
+(** A stream for destinations [0..p-1], all initially active.
+
+    [?fold] enables the {e epoch-digest} delivery fast path. An epoch
+    is a maximal run of equal-due records — under a constant declared
+    delay, exactly the broadcasts of one send step. With [fold] given
+    (the algorithm's {!Algorithm.S.merge_homomorphic} witness),
+    {!drain} collapses each fully-due epoch into one cached
+    [fold msgs] digest applied once per receiver, instead of walking
+    its records individually: per-tick delivery cost drops from
+    O(p{^ 2}) payload applies to O(p + digest size). Epochs are sealed
+    before they become deliverable (records due at [T] were added at
+    [T - delta], [delta >= 1]), so the cache can never go stale. *)
 
 val add : 'msg t -> due:int -> src:int -> seq:int -> 'msg -> unit
 (** Append one shared record with refcount = current active count.
@@ -58,3 +69,22 @@ val pending_for : 'msg t -> dst:int -> int
 
 val next_due : 'msg t -> dst:int -> int option
 (** Earliest due among records still addressed to [dst]. Read-only. *)
+
+val drain : 'msg t -> dst:int -> now:int -> (int -> 'msg -> unit) -> int
+(** Deliver every record due for [dst] by [now] and return the number
+    of {e logical} deliveries (records from other sources consumed),
+    matching what a {!peek}/{!pop} loop would count. Without [fold]
+    this {e is} a peek/pop loop, invoking the callback once per record
+    with its true source. With [fold], each whole due epoch is
+    delivered as a single callback invocation carrying the epoch digest
+    and source [-1] (the digest has no single source); the receiver's
+    own contribution may be folded in — harmless under the
+    merge-homomorphism contract — while the count still excludes its
+    own records. A cursor left mid-epoch by the per-record path falls
+    back to single-record delivery until the next epoch boundary. *)
+
+val stats : 'msg t -> int * int
+(** [(pending, digest_words)]: retained records ([tail - head]) and the
+    total heap words reachable from currently cached epoch digests —
+    the occupancy feed for the [net.stream_pending] /
+    [net.stream_digest_bytes] gauges. Read-only. *)

@@ -284,6 +284,73 @@ let apply_delta_gen ~dst (dl : delta) tk =
 let apply_delta ~dst dl = apply_delta_gen ~dst dl None
 let apply_delta_tracked ~dst tk dl = apply_delta_gen ~dst dl (Some tk)
 
+let union_many (ds : delta array) : delta =
+  let total = Array.fold_left (fun acc d -> acc + Array.length d) 0 ds in
+  if total = 0 then empty_delta
+  else begin
+    (* Word order is first-seen across the inputs; repeated words OR their
+       values into the already-emitted slot, so the result stays one pair
+       per distinct word and application order cannot matter. Word indices
+       are bounded by the source sets' word counts (n / 63), so a flat
+       direct-indexed slot table beats any hash: one extra O(total) pass
+       to size it, then every dedup probe is a single array read. *)
+    let maxw = ref 0 in
+    Array.iter
+      (fun (d : delta) ->
+        let k = ref 0 in
+        let dl = Array.length d in
+        while !k < dl do
+          let w = Array.unsafe_get d !k in
+          if w > !maxw then maxw := w;
+          k := !k + 2
+        done)
+      ds;
+    (* One fold per epoch feeds p digest applies, so the result must be
+       sized exactly: count distinct words first (overlap across senders
+       is the common case — every sender re-broadcasts what it just
+       learned), then emit into a right-sized array. The extra counting
+       pass is linear reads; the alternative — allocating [total] pairs
+       and shrinking — churns the major heap once per epoch. *)
+    let slot_of_word = Array.make (!maxw + 1) 0 in
+    let distinct = ref 0 in
+    Array.iter
+      (fun (d : delta) ->
+        let k = ref 0 in
+        let dl = Array.length d in
+        while !k < dl do
+          let w = Array.unsafe_get d !k in
+          if Array.unsafe_get slot_of_word w = 0 then begin
+            Array.unsafe_set slot_of_word w (-1);
+            incr distinct
+          end;
+          k := !k + 2
+        done)
+      ds;
+    let out = Array.make (2 * !distinct) 0 in
+    let len = ref 0 in
+    Array.iter
+      (fun (d : delta) ->
+        let k = ref 0 in
+        let dl = Array.length d in
+        while !k < dl do
+          let w = Array.unsafe_get d !k in
+          let v = Array.unsafe_get d (!k + 1) in
+          let s = Array.unsafe_get slot_of_word w in
+          if s < 0 then begin
+            (* first sighting: claim the next pair slot, first-seen order *)
+            Array.unsafe_set out !len w;
+            Array.unsafe_set out (!len + 1) v;
+            Array.unsafe_set slot_of_word w (!len + 2);
+            len := !len + 2
+          end
+          else
+            Array.unsafe_set out (s - 1) (Array.unsafe_get out (s - 1) lor v);
+          k := !k + 2
+        done)
+      ds;
+    out
+  end
+
 let pp ppf b =
   Format.fprintf ppf "{%a}/%d"
     (Format.pp_print_list

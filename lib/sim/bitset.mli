@@ -123,3 +123,12 @@ val apply_delta : dst:t -> delta -> unit
 val apply_delta_tracked : dst:t -> tracker -> delta -> unit
 (** {!apply_delta}, also marking every word that gained a bit — the
     receive path of a processor that itself re-broadcasts deltas. *)
+
+val union_many : delta array -> delta
+(** Fold [k] deltas into one digest delta in a single pass: one
+    [|w; v|] pair per distinct word, values OR-combined, words in
+    first-seen order. Applying the result once is equivalent to
+    applying every input (in any order), because OR is associative,
+    commutative, and idempotent. O(total input pairs); the engine's
+    epoch-digest delivery path leans on this to turn [p-1] per-receiver
+    applies into one. *)

@@ -18,6 +18,8 @@ type instruments = {
   i_latency : Probe.histogram; (* net.delivery_latency *)
   i_fanout : Probe.histogram; (* net.fanout *)
   i_inflight : Probe.gauge; (* net.in_flight *)
+  i_stream_pending : Probe.gauge; (* net.stream_pending *)
+  i_stream_digest : Probe.gauge; (* net.stream_digest_bytes *)
   i_drops : Probe.counter; (* net.drops *)
   i_dups : Probe.counter; (* net.dups *)
   i_delayed : Probe.vector; (* proc.delayed_steps *)
@@ -37,6 +39,8 @@ let instruments probe ~p =
     i_latency = Probe.histogram probe "net.delivery_latency";
     i_fanout = Probe.histogram probe "net.fanout";
     i_inflight = Probe.gauge probe "net.in_flight";
+    i_stream_pending = Probe.gauge probe "net.stream_pending";
+    i_stream_digest = Probe.gauge probe "net.stream_digest_bytes";
     i_drops = Probe.counter probe "net.drops";
     i_dups = Probe.counter probe "net.dups";
     i_delayed = Probe.vector probe "proc.delayed_steps" ~len:p;
@@ -149,7 +153,13 @@ module Make (A : Algorithm.S) = struct
         stream;
         stream_delta;
         states = Array.init p (fun pid -> A.init cfg ~pid);
-        net = Network.create ~horizon:d ~p ();
+        net =
+          (* the digest witness only applies on the stream fast path:
+             elsewhere broadcasts fan out as per-destination sends and
+             the shared stream never sees a record *)
+          Network.create
+            ?digest:(if stream then A.merge_homomorphic else None)
+            ~horizon:d ~p ();
         global_done = Bitset.create cfg.Config.t;
         alive = Array.make p true;
         halted = Array.make p false;
@@ -296,18 +306,15 @@ module Make (A : Algorithm.S) = struct
      | None -> ());
     (* Deliver due messages, then take the local step. *)
     let st = eng.states.(pid) in
-    (if eng.ins.obs_on then begin
-       (* count locally, publish once: keeps the per-message probe cost
-          to a register increment *)
-       let delivered = ref 0 in
-       Network.receive_iter eng.net ~dst:pid ~now:eng.time (fun src msg ->
-           Stdlib.incr delivered;
-           A.receive st ~src msg);
-       Probe.add eng.ins.i_deliveries !delivered
-     end
-     else
-       Network.receive_iter eng.net ~dst:pid ~now:eng.time (fun src msg ->
-           A.receive st ~src msg));
+    (* receive_iter returns the logical delivery count itself (a digest
+       callback can stand for a whole epoch), so probed and unprobed
+       runs share one delivery loop *)
+    let delivered =
+      Network.receive_iter eng.net ~dst:pid ~now:eng.time (fun src msg ->
+          A.receive st ~src msg)
+    in
+    if eng.ins.obs_on && delivered > 0 then
+      Probe.add eng.ins.i_deliveries delivered;
     let r = A.step st in
     eng.work <- eng.work + 1;
     eng.per_proc_work.(pid) <- eng.per_proc_work.(pid) + 1;
@@ -493,7 +500,14 @@ module Make (A : Algorithm.S) = struct
          reliable one *)
       let inflight = Network.pending eng.net in
       Probe.set eng.ins.i_inflight inflight;
-      Probe.sample eng.ins.s_inflight ~time inflight
+      Probe.sample eng.ins.s_inflight ~time inflight;
+      (* shared-stream occupancy: retained broadcast records and bytes
+         held by cached epoch digests (0 outside the digest path) *)
+      match Network.stream_stats eng.net with
+      | Some (records, digest_words) ->
+        Probe.set eng.ins.i_stream_pending records;
+        Probe.set eng.ins.i_stream_digest (digest_words * (Sys.word_size / 8))
+      | None -> ()
     end;
     if eng.done_alive > 0 && Bitset.is_full eng.global_done then begin
       eng.finished <- true;

@@ -13,12 +13,22 @@
 
 type 'msg t
 
-val create : ?horizon:int -> p:int -> unit -> 'msg t
+val create :
+  ?digest:('msg array -> 'msg) -> ?horizon:int -> p:int -> unit -> 'msg t
 (** A network connecting processors [0..p-1]. With [~horizon:h], each
     per-destination queue is a calendar ring (see {!Event_queue.create}):
     O(1) sends instead of O(log pending), valid when every send's due
     time is at most [h] ahead of the sender's (non-decreasing) clock —
-    the engine's delay clamp guarantees exactly this with [h = d]. *)
+    the engine's delay clamp guarantees exactly this with [h = d].
+
+    [?digest] (horizon networks only; ignored on heap backends) is the
+    algorithm's merge-homomorphism witness
+    ({!Algorithm.S.merge_homomorphic}): broadcasts due at the same
+    instant are pre-folded once and delivered to each receiver as a
+    single epoch-digest message with source [-1] (see {!Bcast.create}).
+    Counters — {!sent}, {!pending}, and the delivery count returned by
+    {!receive_iter} — are unchanged: they account logical [p - 1]-way
+    multicasts regardless of how deliveries are materialized. *)
 
 val p : 'msg t -> int
 
@@ -59,10 +69,14 @@ val receive : 'msg t -> dst:int -> now:int -> (int * 'msg) list
 (** [(sender, message)] pairs due at or before [now], removed from the
     queue, in (due time, send order) order. *)
 
-val receive_iter : 'msg t -> dst:int -> now:int -> (int -> 'msg -> unit) -> unit
+val receive_iter : 'msg t -> dst:int -> now:int -> (int -> 'msg -> unit) -> int
 (** [receive_iter t ~dst ~now f] calls [f sender message] for each due
     message, in the same order as {!receive}, without materializing the
-    intermediate list — the engine's per-step delivery path. *)
+    intermediate list — the engine's per-step delivery path. Returns
+    the number of logical deliveries: on the digest fast path one
+    callback can stand for a whole epoch ([f (-1) digest]), but the
+    count still reflects the individual messages consumed, so
+    [net.deliveries] accounting is backend-independent. *)
 
 val pending : 'msg t -> int
 (** Messages queued but not yet received. O(1): maintained as an
@@ -78,3 +92,8 @@ val next_due : 'msg t -> dst:int -> int option
 val sent : 'msg t -> int
 (** Total point-to-point messages sent so far — the message complexity
     [M] of Definition 2.2, counted incrementally. *)
+
+val stream_stats : 'msg t -> (int * int) option
+(** [Some (pending_records, digest_words)] for horizon networks — the
+    shared broadcast stream's occupancy ({!Bcast.stats}); [None] on
+    heap backends, which have no shared storage to report. *)

@@ -1,0 +1,208 @@
+(* The epoch-digest fast path (Bcast ?fold / Algorithm.merge_homomorphic)
+   must be invisible everywhere except wall clock: folding one epoch's
+   broadcasts and applying the digest once has to leave every receiver's
+   knowledge, every re-broadcast tracker, and every counter exactly
+   where the per-record walk would. Three layers of pins: the bitset
+   algebra (QCheck), raw network traffic across all three backends, and
+   full engine runs compared probe-counter by probe-counter. *)
+
+open Doall_sim
+open Doall_adversary
+open Doall_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Property: applying union_many(deltas) once = applying each delta,
+   including the tracker marks a relaying receiver would flush next.   *)
+
+let deltas_gen =
+  QCheck2.Gen.(
+    let* n = int_range 1 300 in
+    let* receiver = list_size (int_range 0 40) (int_range 0 (n - 1)) in
+    let* senders =
+      list_size (int_range 1 12)
+        (list_size (int_range 0 25) (int_range 0 (n - 1)))
+    in
+    return (n, receiver, senders))
+
+(* [delta] is abstract; a flush is characterized by its pair count plus
+   its image on an empty set (flushes never emit duplicate words, and a
+   pair's value is the word's full content, so the image recovers every
+   pair). *)
+let flush_fingerprint n b tk =
+  let dl = Bitset.delta_flush b tk in
+  let img = Bitset.create n in
+  Bitset.apply_delta ~dst:img dl;
+  (Bitset.delta_words dl, img)
+
+let fingerprint_equal (w1, img1) (w2, img2) = w1 = w2 && Bitset.equal img1 img2
+
+let prop_digest_equals_sequential =
+  QCheck2.Test.make ~name:"digest apply = sequential applies" ~count:300
+    deltas_gen (fun (n, receiver, senders) ->
+      let deltas =
+        Array.of_list
+          (List.map
+             (fun is ->
+               let b = Bitset.create n in
+               let tk = Bitset.tracker b in
+               List.iter (Bitset.set_tracked b tk) is;
+               Bitset.delta_flush b tk)
+             senders)
+      in
+      let seq = Bitset.of_list n receiver in
+      let seq_tk = Bitset.tracker seq in
+      Array.iter
+        (fun dl -> Bitset.apply_delta_tracked ~dst:seq seq_tk dl)
+        deltas;
+      let dig = Bitset.of_list n receiver in
+      let dig_tk = Bitset.tracker dig in
+      Bitset.apply_delta_tracked ~dst:dig dig_tk (Bitset.union_many deltas);
+      (* same knowledge, and the delta each receiver would re-broadcast
+         carries the same word/value pairs (order may differ: marks
+         happen in first-gain vs first-seen order, and application is
+         order-insensitive either way) *)
+      Bitset.equal seq dig
+      && Bitset.cardinal seq = Bitset.cardinal dig
+      && fingerprint_equal
+           (flush_fingerprint n seq seq_tk)
+           (flush_fingerprint n dig dig_tk))
+
+let prop_union_many_one_pair_per_word =
+  QCheck2.Test.make ~name:"union_many emits one pair per distinct word"
+    ~count:200 deltas_gen (fun (n, _receiver, senders) ->
+      let deltas =
+        Array.of_list
+          (List.map
+             (fun is ->
+               let b = Bitset.create n in
+               let tk = Bitset.tracker b in
+               List.iter (Bitset.set_tracked b tk) is;
+               Bitset.delta_flush b tk)
+             senders)
+      in
+      (* every touched word of a fresh set holds a gained bit, so the
+         distinct words across all inputs are exactly the distinct
+         word indices of the set bits *)
+      let expected_words =
+        List.length
+          (List.sort_uniq compare
+             (List.map (fun i -> i / 63) (List.concat senders)))
+      in
+      Bitset.delta_words (Bitset.union_many deltas) = expected_words)
+
+(* ------------------------------------------------------------------ *)
+(* Backend parity: identical broadcast traffic through Heap, Ring, and
+   Ring + digest must agree on sends, logical deliveries, and the
+   payload multiset each destination sees. Payload elements are tagged
+   with their source because a digest may fold the receiver's own
+   contribution in (sound for knowledge unions, which absorb it);
+   own-tagged elements are filtered before comparison, mirroring that
+   absorption, while the delivery *counts* must match exactly with no
+   filtering. *)
+
+let test_backend_parity () =
+  let p = 8 in
+  let fold msgs = List.concat (Array.to_list msgs) in
+  let drive net =
+    let got = Array.make p [] in
+    let delivered = ref 0 in
+    for now = 0 to 40 do
+      for dst = 0 to p - 1 do
+        delivered :=
+          !delivered
+          + Network.receive_iter net ~dst ~now (fun _src msg ->
+                got.(dst) <- msg @ got.(dst))
+      done;
+      if now <= 30 then begin
+        (* two same-due broadcasts per step: multi-record epochs, one of
+           which periodically lands on a destination's own source *)
+        let s1 = now mod p and s2 = (now + 3) mod p in
+        Network.broadcast net ~src:s1 ~due:(now + 3) [ (s1, now) ];
+        Network.broadcast net ~src:s2 ~due:(now + 3) [ (s2, 1000 + now) ]
+      end
+    done;
+    let cleaned =
+      Array.mapi
+        (fun dst l ->
+          List.sort compare (List.filter (fun (src, _) -> src <> dst) l))
+        got
+    in
+    (Network.sent net, !delivered, cleaned)
+  in
+  let hs, hd, hg = drive (Network.create ~p ()) in
+  let rs, rd, rg = drive (Network.create ~horizon:8 ~p ()) in
+  let ds, dd, dg = drive (Network.create ~digest:fold ~horizon:8 ~p ()) in
+  check_int "net.sends: heap = ring" hs rs;
+  check_int "net.sends: ring = digest" rs ds;
+  check_int "net.deliveries: heap = ring" hd rd;
+  check_int "net.deliveries: ring = digest" rd dd;
+  check "per-dst payloads: heap = ring" true (hg = rg);
+  check "per-dst payloads: ring = digest" true (rg = dg)
+
+let test_digest_sources_are_anonymous () =
+  (* A digest delivery carries src = -1: it stands for a whole epoch,
+     not any single sender. *)
+  let net = Network.create ~digest:(fun msgs -> Array.to_list msgs |> List.concat) ~horizon:4 ~p:4 () in
+  Network.broadcast net ~src:0 ~due:2 [ 10 ];
+  Network.broadcast net ~src:1 ~due:2 [ 11 ];
+  let srcs = ref [] in
+  let n = Network.receive_iter net ~dst:2 ~now:5 (fun src _ -> srcs := src :: !srcs) in
+  check_int "two logical deliveries" 2 n;
+  Alcotest.(check (list int)) "one callback, src = -1" [ -1 ] !srcs
+
+(* ------------------------------------------------------------------ *)
+(* Engine parity: declared (stream + digest) vs stripped (Variable =
+   general path) runs agree on metrics and on the net.sends /
+   net.deliveries probe counters, for both merge-homomorphic families. *)
+
+let metrics_key (m : Metrics.t) =
+  ( (m.Metrics.work, m.Metrics.messages, m.Metrics.sigma),
+    (m.Metrics.executions, m.Metrics.completed, m.Metrics.halted),
+    Array.to_list m.Metrics.per_proc_work )
+
+let counted_run algo adv =
+  let cfg = Config.make ~seed:5 ~p:24 ~t:160 () in
+  let probe = Probe.create () in
+  let m = Engine.run_packed algo cfg ~d:6 ~adversary:adv ~probe ~check:true () in
+  let c name = Probe.counter_value (Probe.counter probe name) in
+  (metrics_key m, c "net.sends", c "net.deliveries")
+
+let test_engine_probe_parity () =
+  List.iter
+    (fun (name, algo) ->
+      List.iter
+        (fun (vname, adv) ->
+          let fast = counted_run algo adv in
+          let slow =
+            counted_run algo (Adversary.with_latency Adversary.Variable adv)
+          in
+          check
+            (Printf.sprintf "%s under %s: declared = stripped" name vname)
+            true (fast = slow))
+        [
+          ("fair", Adversary.fair);
+          ("max-delay", Adversary.max_delay);
+          ( "laggard",
+            Schedule.combine ~name:"laggard"
+              ~schedule:Schedule.adaptive_laggard () );
+        ])
+    [
+      ("paran1", Algo_pa.make_ran1 ());
+      ("paran1-single", Algo_pa.make_ran1 ~gossip:`Single ());
+      ("da-q4", Algo_da.make ~q:4 ());
+    ]
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_digest_equals_sequential;
+    QCheck_alcotest.to_alcotest prop_union_many_one_pair_per_word;
+    Alcotest.test_case "backend parity (heap | ring | digest)" `Quick
+      test_backend_parity;
+    Alcotest.test_case "digest deliveries are source-anonymous" `Quick
+      test_digest_sources_are_anonymous;
+    Alcotest.test_case "engine probe parity (declared = stripped)" `Quick
+      test_engine_probe_parity;
+  ]

@@ -95,8 +95,11 @@ let test_receive_iter_matches_receive () =
   in
   let by_list = Network.receive (mk ()) ~dst:1 ~now:3 in
   let by_iter = ref [] in
-  Network.receive_iter (mk ()) ~dst:1 ~now:3 (fun src msg ->
-      by_iter := (src, msg) :: !by_iter);
+  let n =
+    Network.receive_iter (mk ()) ~dst:1 ~now:3 (fun src msg ->
+        by_iter := (src, msg) :: !by_iter)
+  in
+  check_int "returned count = deliveries" (List.length by_list) n;
   Alcotest.(check (list (pair int string)))
     "same messages, same order" by_list
     (List.rev !by_iter)
@@ -106,8 +109,9 @@ let test_bounded_horizon_network () =
   let net = Network.create ~horizon:3 ~p:2 () in
   let received = ref [] in
   for now = 0 to 30 do
-    Network.receive_iter net ~dst:1 ~now (fun _src msg ->
-        received := msg :: !received);
+    ignore
+      (Network.receive_iter net ~dst:1 ~now (fun _src msg ->
+           received := msg :: !received));
     if now < 20 then Network.send net ~src:0 ~dst:1 ~due:(now + 1 + (now mod 3)) now
   done;
   check_int "all delivered" 20 (List.length !received);
@@ -176,9 +180,13 @@ let test_broadcast_stream_growth () =
       Network.broadcast net ~src:1 ~due:(now + 400) (1000 + now)
     end;
     (* dst 2 reads every step, dst 1 only rarely *)
-    Network.receive_iter net ~dst:2 ~now (fun _ msg -> fast := msg :: !fast);
+    ignore
+      (Network.receive_iter net ~dst:2 ~now (fun _ msg ->
+           fast := msg :: !fast));
     if now mod 97 = 0 then
-      Network.receive_iter net ~dst:1 ~now (fun _ msg -> slow := msg :: !slow)
+      ignore
+        (Network.receive_iter net ~dst:1 ~now (fun _ msg ->
+             slow := msg :: !slow))
   done;
   ignore (Network.receive net ~dst:0 ~now:2000);
   ignore (Network.receive net ~dst:1 ~now:2000);

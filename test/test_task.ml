@@ -52,6 +52,42 @@ let test_job_done_and_next_member () =
     (Task.next_member part know 0);
   check "job 1 unaffected" false (Task.job_done part know 1)
 
+let prop_first_unknown_agrees_with_next_member =
+  (* [first_unknown ~from:lo] is [next_member]; with a carried cursor it
+     must keep agreeing as knowledge grows (the monotone-scan contract
+     Algo_pa's per-step job cursor relies on). *)
+  QCheck2.Test.make ~name:"first_unknown = next_member under monotone growth"
+    ~count:300
+    QCheck2.Gen.(
+      let* p = int_range 1 10 in
+      let* t = int_range 1 80 in
+      let* sets = list_size (int_range 0 60) (int_range 0 (t - 1)) in
+      return (p, t, sets))
+    (fun (p, t, sets) ->
+      let part = Task.make ~p ~t in
+      let know = Bitset.create t in
+      let cursors = Array.make part.Task.n 0 in
+      List.init part.Task.n Fun.id
+      |> List.iter (fun j ->
+             cursors.(j) <- fst part.Task.task_ranges.(j));
+      List.for_all
+        (fun i ->
+          Bitset.set know i;
+          List.for_all
+            (fun j ->
+              let lo, hi = part.Task.task_ranges.(j) in
+              (* cursor-carried scan = fresh scan = next_member *)
+              cursors.(j) <-
+                Task.first_unknown part know j ~from:cursors.(j);
+              let fresh = Task.first_unknown part know j ~from:lo in
+              cursors.(j) = fresh
+              &&
+              match Task.next_member part know j with
+              | Some z -> fresh = z && z < hi
+              | None -> fresh = hi)
+            (List.init part.Task.n Fun.id))
+        sets)
+
 let test_jobs_done_count () =
   let part = Task.make ~p:3 ~t:6 in
   let know = Bitset.of_list 6 [ 0; 1; 4; 5 ] in
@@ -90,6 +126,7 @@ let suite =
     Alcotest.test_case "jobs cover all tasks" `Quick test_contiguous_cover;
     Alcotest.test_case "job_done / next_member" `Quick
       test_job_done_and_next_member;
+    QCheck_alcotest.to_alcotest prop_first_unknown_agrees_with_next_member;
     Alcotest.test_case "jobs_done_count" `Quick test_jobs_done_count;
     Alcotest.test_case "validation" `Quick test_validation;
     QCheck_alcotest.to_alcotest prop_partition_invariants;
