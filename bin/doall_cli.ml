@@ -8,6 +8,8 @@
      doall run --algo padet --adv chaos --check --seed 7
      doall run --algo da-q4 --adv fair --faults drop=0.5,dup=0.2x2 --check
      doall trace --algo paran1 --adv fair -p 4 -t 16 --jsonl -
+     doall trace --algo paran1 --adv max-delay -p 8 -t 64 --chrome tr.json
+     doall obs diff run-a.jsonl run-b.jsonl --tol 1.5
      doall sweep --algo padet --adv max-delay -p 32 -t 256 --delays 1,4,16,64
      doall exp list
      doall exp run e1 e19 --jobs 2 --csv out/ --jsonl results.jsonl
@@ -67,6 +69,13 @@ let obs_arg =
                schema in docs/OBSERVABILITY.md. Metrics are identical \
                with and without probes.")
 
+let profile_arg =
+  Arg.(value & flag & info [ "profile" ]
+         ~doc:"Self-profile the engine's phases (deliver, algo_step, \
+               adversary, bcast_maint, oracle) and print the wall-clock \
+               breakdown on stderr; with --obs the snapshot also gets a \
+               'phases' line. Metrics are identical with and without.")
+
 let check_arg =
   Arg.(value & flag & info [ "check" ]
          ~doc:"Audit every tick with the invariant oracle and fail \
@@ -103,6 +112,30 @@ let progress_arg =
                grid runs (only when stderr is a tty; CI logs stay \
                clean).")
 
+(* Everything under run/trace that is commentary rather than data goes
+   to stderr: '--obs -' and '--jsonl -' put machine-readable streams on
+   stdout, and a summary mixed into them would corrupt the artifact. *)
+let print_span_summary (sp : Span.snapshot) =
+  Format.eprintf "phases (engine self-profile, wall-clock):@.";
+  List.iter
+    (fun (name, (total, count)) ->
+      Format.eprintf "  %-12s %8.3f ms  x%d@." name (total *. 1e3) count)
+    sp;
+  Format.eprintf "  %-12s %8.3f ms@." "total" (Span.total sp *. 1e3)
+
+let print_percentiles (s : Probe.snapshot) =
+  List.iter
+    (fun (name, (h : Probe.histogram_snapshot)) ->
+      if h.Probe.count > 0 then begin
+        let pc q =
+          let lo, hi = Probe.percentile h q in
+          if lo = hi then string_of_int lo else Printf.sprintf "%d..%d" lo hi
+        in
+        Format.eprintf "hist %-24s n=%-8d p50=%s p90=%s p99=%s max=%d@." name
+          h.Probe.count (pc 0.50) (pc 0.90) (pc 0.99) h.Probe.max
+      end)
+    s.Probe.histograms
+
 (* One cell's worth of export metadata, shared by run --obs and trace
    --jsonl. *)
 let result_meta (r : Runner.result) p t d =
@@ -137,7 +170,7 @@ let list_cmd =
 
 let run_cmd =
   let doc = "Run one algorithm against one adversary and print metrics." in
-  let run algo adv p t d seed trace obs check faults_spec max_time =
+  let run algo adv p t d seed trace obs profile check faults_spec max_time =
     match (pos_int ~what:"p" p, pos_int ~what:"t" t) with
     | `Error e, _ | _, `Error e -> prerr_endline e; exit 2
     | `Ok p, `Ok t ->
@@ -145,9 +178,10 @@ let run_cmd =
       (try
          if trace then begin
            let result, tr =
-             Runner.run_traced ~seed ~check ?faults ?max_time ~algo ~adv ~p
-               ~t ~d ()
+             Runner.run_traced ~seed ~profile ~check ?faults ?max_time ~algo
+               ~adv ~p ~t ~d ()
            in
+           Option.iter print_span_summary result.Runner.spans;
            Format.printf "%a@." Doall_sim.Metrics.pp result.Runner.metrics;
            let until =
              min 120 (result.Runner.metrics.Doall_sim.Metrics.sigma + 1)
@@ -162,10 +196,12 @@ let run_cmd =
              match obs with None -> None | Some _ -> Some (Probe.create ())
            in
            let result =
-             Runner.run ~seed ?probe ~check ?faults ?max_time ~algo ~adv ~p
-               ~t ~d ()
+             Runner.run ~seed ?probe ~profile ~check ?faults ?max_time ~algo
+               ~adv ~p ~t ~d ()
            in
            Format.printf "%a@." Doall_sim.Metrics.pp result.Runner.metrics;
+           Option.iter print_span_summary result.Runner.spans;
+           Option.iter print_percentiles result.Runner.obs;
            let m = result.Runner.metrics in
            Format.printf "bounds: lower=%.0f pa-upper=%.0f oblivious=%.0f@."
              (Bounds.lower_bound ~p ~t ~d)
@@ -178,7 +214,8 @@ let run_cmd =
              Export.with_out path (fun oc ->
                  Export.write_run oc
                    ~meta:(result_meta result p t d)
-                   ?snapshot:result.Runner.obs result.Runner.metrics);
+                   ?snapshot:result.Runner.obs ?spans:result.Runner.spans
+                   result.Runner.metrics);
              if path <> "-" then
                Format.eprintf "wrote probe snapshot to %s@." path
          end
@@ -195,7 +232,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ algo_arg $ adv_arg $ p_arg $ t_arg $ d_arg $ seed_arg
-          $ trace_arg $ obs_arg $ check_arg $ faults_arg $ max_time_arg)
+          $ trace_arg $ obs_arg $ profile_arg $ check_arg $ faults_arg
+          $ max_time_arg)
 
 let trace_cmd =
   let doc =
@@ -208,21 +246,82 @@ let trace_cmd =
                  the default); one event per line, schema in \
                  docs/OBSERVABILITY.md.")
   in
-  let run algo adv p t d seed jsonl =
+  let chrome_arg =
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE"
+           ~doc:"Also export the run as a Chrome trace-event document \
+                 ('-' = stdout): per-processor tracks, broadcast flow \
+                 arrows and the engine phase profile, loadable in \
+                 Perfetto / chrome://tracing.")
+  in
+  let run algo adv p t d seed jsonl chrome =
     match (pos_int ~what:"p" p, pos_int ~what:"t" t) with
     | `Error e, _ | _, `Error e -> prerr_endline e; exit 2
     | `Ok p, `Ok t ->
-      let result, tr = Runner.run_traced ~seed ~algo ~adv ~p ~t ~d () in
+      (* The Chrome artifact carries an engine-profile track, so profile
+         exactly when it is requested; the JSONL stream is unaffected. *)
+      let profile = chrome <> None in
+      let result, tr =
+        Runner.run_traced ~seed ~profile ~algo ~adv ~p ~t ~d ()
+      in
       Export.with_out jsonl (fun oc ->
           Export.write_trace oc
             ~meta:(result_meta result p t d)
             result.Runner.metrics tr);
       if jsonl <> "-" then
-        Format.eprintf "wrote trace to %s@." jsonl
+        Format.eprintf "wrote trace to %s@." jsonl;
+      match chrome with
+      | None -> ()
+      | Some path ->
+        Export.with_out path (fun oc ->
+            Doall_obs.Chrome.write oc ?spans:result.Runner.spans ~p tr);
+        if path <> "-" then
+          Format.eprintf "wrote Chrome trace to %s@." path
   in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(const run $ algo_arg $ adv_arg $ p_arg $ t_arg $ d_arg $ seed_arg
-          $ jsonl_arg)
+          $ jsonl_arg $ chrome_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let obs_diff_cmd =
+  let doc =
+    "Compare two observability artifacts with per-metric tolerances."
+  in
+  let a_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"A"
+           ~doc:"First artifact (JSONL stream or whole-file JSON).")
+  in
+  let b_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"B"
+           ~doc:"Second artifact.")
+  in
+  let tol_arg =
+    Arg.(value & opt float 1.5 & info [ "tol" ] ~docv:"RATIO"
+           ~doc:"Max allowed ratio between machine-dependent numbers \
+                 (wall_s and friends); every other value must match \
+                 exactly.")
+  in
+  let run a b tol =
+    match Doall_obs.Diff.compare_files ~tol a b with
+    | Error e ->
+      Printf.eprintf "doall: obs diff: %s\n" e;
+      exit 2
+    | Ok [] ->
+      Printf.printf "%s and %s agree (machine-dependent values within %gx)\n"
+        a b tol
+    | Ok findings ->
+      List.iter
+        (fun f -> Format.printf "%a@." Doall_obs.Diff.pp_finding f)
+        findings;
+      Printf.printf "%d difference(s) between %s and %s\n"
+        (List.length findings) a b;
+      exit 1
+  in
+  Cmd.v (Cmd.info "diff" ~doc) Term.(const run $ a_arg $ b_arg $ tol_arg)
+
+let obs_cmd =
+  let doc = "Work with observability artifacts (snapshots, benches)." in
+  Cmd.group (Cmd.info "obs" ~doc) [ obs_diff_cmd ]
 
 let delays_arg =
   Arg.(value & opt (list int) [ 1; 2; 4; 8; 16; 32; 64 ]
@@ -496,7 +595,7 @@ let contention_cmd =
 let main =
   let doc = "message-delay-sensitive Do-All algorithms (Kowalski-Shvartsman)" in
   Cmd.group (Cmd.info "doall" ~doc)
-    [ list_cmd; run_cmd; trace_cmd; sweep_cmd; compare_cmd; exp_cmd;
+    [ list_cmd; run_cmd; trace_cmd; obs_cmd; sweep_cmd; compare_cmd; exp_cmd;
       contention_cmd; lemma32_cmd ]
 
 let () =

@@ -300,6 +300,7 @@ type result = {
   seed : int;
   wall_s : float;
   obs : Probe.snapshot option;
+  spans : Span.snapshot option;
 }
 
 let find_adv name =
@@ -314,6 +315,16 @@ let snapshot_of probe =
   match probe with
   | Some probe when Probe.enabled probe -> Some (Probe.snapshot probe)
   | Some _ | None -> None
+
+(* [?profile:true] gives the engine a fresh enabled profiler; its final
+   snapshot lands in [result.spans]. Like probes, spans are per-run
+   state, never shared across grid cells or domains. *)
+let spans_of = function
+  | Some sp -> Some (Span.snapshot sp)
+  | None -> None
+
+let make_spans profile =
+  if profile then Some (Span.create ()) else None
 
 type run_spec = {
   spec_algo : string;
@@ -364,24 +375,31 @@ let sim_count () = Atomic.get sims
 
 (* Like [run] but reports a capped run through [metrics.completed]
    instead of raising, so [run_grid] can aggregate timeouts. *)
-let run_unchecked ?(seed = 0) ?max_time ?probe ?check ?faults ~algo ~adv ~p
-    ~t ~d () =
+let run_unchecked ?(seed = 0) ?max_time ?probe ?(profile = false) ?check
+    ?faults ~algo ~adv ~p ~t ~d () =
   Atomic.incr sims;
   let aspec = find_algo algo in
   let vspec = find_adv adv in
   let cfg = Config.make ~seed ~p ~t () in
   let adversary = overlay ?faults (vspec.instantiate ~p ~t ~d) in
+  let sp = make_spans profile in
   let t0 = Unix.gettimeofday () in
   let metrics =
     Engine.run_packed (aspec.make ()) cfg ~d ~adversary ?max_time ?probe
-      ?check ()
+      ?spans:sp ?check ()
   in
   let wall_s = Unix.gettimeofday () -. t0 in
-  { metrics; algo; adv; seed; wall_s; obs = snapshot_of probe }
+  {
+    metrics; algo; adv; seed; wall_s;
+    obs = snapshot_of probe;
+    spans = spans_of sp;
+  }
 
-let run ?seed ?max_time ?probe ?check ?faults ~algo ~adv ~p ~t ~d () =
+let run ?seed ?max_time ?probe ?profile ?check ?faults ~algo ~adv ~p ~t ~d ()
+    =
   let r =
-    run_unchecked ?seed ?max_time ?probe ?check ?faults ~algo ~adv ~p ~t ~d ()
+    run_unchecked ?seed ?max_time ?probe ?profile ?check ?faults ~algo ~adv
+      ~p ~t ~d ()
   in
   if not r.metrics.Metrics.completed then
     raise
@@ -392,20 +410,26 @@ let run ?seed ?max_time ?probe ?check ?faults ~algo ~adv ~p ~t ~d () =
          });
   r
 
-let run_traced ?(seed = 0) ?max_time ?probe ?check ?faults ~algo ~adv ~p ~t
-    ~d () =
+let run_traced ?(seed = 0) ?max_time ?probe ?(profile = false) ?check ?faults
+    ~algo ~adv ~p ~t ~d () =
   Atomic.incr sims;
   let aspec = find_algo algo in
   let vspec = find_adv adv in
   let cfg = Config.make ~seed ~record_trace:true ~p ~t () in
   let adversary = overlay ?faults (vspec.instantiate ~p ~t ~d) in
+  let sp = make_spans profile in
   let t0 = Unix.gettimeofday () in
   let metrics, trace =
     Engine.run_traced (aspec.make ()) cfg ~d ~adversary ?max_time ?probe
-      ?check ()
+      ?spans:sp ?check ()
   in
   let wall_s = Unix.gettimeofday () -. t0 in
-  ({ metrics; algo; adv; seed; wall_s; obs = snapshot_of probe }, trace)
+  ( {
+      metrics; algo; adv; seed; wall_s;
+      obs = snapshot_of probe;
+      spans = spans_of sp;
+    },
+    trace )
 
 (* ------------------------------------------------------------------ *)
 (* Parallel grids.                                                     *)
@@ -443,12 +467,12 @@ let grid ?(seeds = [ 0 ]) ~algos ~advs ~points () =
         advs)
     algos
 
-let run_spec ?max_time ?probe ?check ?faults s =
-  run_unchecked ~seed:s.seed ?max_time ?probe ?check ?faults
+let run_spec ?max_time ?probe ?profile ?check ?faults s =
+  run_unchecked ~seed:s.seed ?max_time ?probe ?profile ?check ?faults
     ~algo:s.spec_algo ~adv:s.spec_adv ~p:s.p ~t:s.t ~d:s.d ()
 
-let run_grid ?jobs ?pool ?max_time ?(probes = false) ?check ?faults ?on_cell
-    specs =
+let run_grid ?jobs ?pool ?max_time ?(probes = false) ?(profile = false)
+    ?check ?faults ?on_cell specs =
   (* Resolve names in the submitting domain so an unknown algorithm or
      adversary fails fast, before any domain is spawned. *)
   List.iter
@@ -473,7 +497,7 @@ let run_grid ?jobs ?pool ?max_time ?(probes = false) ?check ?faults ?on_cell
   in
   let one s =
     let probe = if probes then Some (Probe.create ()) else None in
-    let r = run_spec ?max_time ?probe ?check ?faults s in
+    let r = run_spec ?max_time ?probe ~profile ?check ?faults s in
     notify r;
     if r.metrics.Metrics.completed then Ok r else Error s
   in

@@ -90,6 +90,13 @@ type result = {
       (** final probe snapshot when the run was instrumented (an
           enabled [?probe] was passed, or [run_grid ~probes:true]);
           [None] otherwise. *)
+  spans : Span.snapshot option;
+      (** final self-profiler snapshot when the run was profiled
+          ([?profile:true]): per-phase wall-clock totals and enter
+          counts for the engine's [deliver] / [algo_step] / [adversary]
+          / [bcast_maint] / [oracle] sections (docs/OBSERVABILITY.md).
+          Totals are machine-dependent like [wall_s]; counts are
+          deterministic. [None] when not profiled. *)
 }
 
 type run_spec = {
@@ -119,6 +126,7 @@ val run :
   ?seed:int ->
   ?max_time:int ->
   ?probe:Probe.t ->
+  ?profile:bool ->
   ?check:bool ->
   ?faults:Adversary.faults ->
   algo:string ->
@@ -134,6 +142,8 @@ val run :
     be honest behaviour worth reporting either way.
     [?probe] is handed to {!Doall_sim.Engine.Make.create}; its final
     snapshot is also stored in [result.obs] when enabled.
+    [?profile:true] attaches a fresh {!Span.t} self-profiler to the
+    engine and stores its snapshot in [result.spans].
     [?check:true] turns on the invariant oracle
     ({!Doall_sim.Oracle}) for the whole run. [?faults] overlays a
     message-fault policy on the named adversary (the CLI's [--faults]). *)
@@ -142,6 +152,7 @@ val run_traced :
   ?seed:int ->
   ?max_time:int ->
   ?probe:Probe.t ->
+  ?profile:bool ->
   ?check:bool ->
   ?faults:Adversary.faults ->
   algo:string ->
@@ -192,6 +203,7 @@ val grid :
 val run_spec :
   ?max_time:int ->
   ?probe:Probe.t ->
+  ?profile:bool ->
   ?check:bool ->
   ?faults:Adversary.faults ->
   run_spec ->
@@ -204,6 +216,7 @@ val run_grid :
   ?pool:Pool.t ->
   ?max_time:int ->
   ?probes:bool ->
+  ?profile:bool ->
   ?check:bool ->
   ?faults:Adversary.faults ->
   ?on_cell:(finished:int -> total:int -> result -> unit) ->
@@ -221,6 +234,10 @@ val run_grid :
     {!Probe.t} (never shared across domains) and stores the final
     snapshot in [result.obs]; snapshots are as deterministic as the
     metrics, so they too are identical at every [jobs].
+
+    [~profile:true] likewise attaches a fresh {!Span.t} per cell and
+    stores the phase snapshot in [result.spans]; span counts share the
+    probes' determinism, span totals do not (wall clock).
 
     [?check] turns on the invariant oracle in every cell; [?faults]
     overlays one fault policy on every cell's adversary. Both default

@@ -1,0 +1,165 @@
+(* See chrome.mli. *)
+
+open Doall_sim
+
+(* One simulated time unit renders as 1 ms (1000 µs): long enough that
+   Perfetto's default zoom shows structure, and integral so every
+   timestamp stays an exact int. *)
+let usec t = t * 1000
+
+let sim_pid = 1
+let profile_pid = 2
+
+let step_dur = 1000
+
+module J = Export.Json
+
+let meta_event ~pid ~tid key value =
+  J.Obj
+    [
+      ("ph", J.Str "M");
+      ("pid", J.Int pid);
+      ("tid", J.Int tid);
+      ("name", J.Str key);
+      ("args", J.Obj [ ("name", J.Str value) ]);
+    ]
+
+let complete ~tid ~ts ~dur name args =
+  J.Obj
+    ([
+       ("ph", J.Str "X");
+       ("pid", J.Int sim_pid);
+       ("tid", J.Int tid);
+       ("ts", J.Int ts);
+       ("dur", J.Int dur);
+       ("name", J.Str name);
+     ]
+    @ if args = [] then [] else [ ("args", J.Obj args) ])
+
+let instant ~tid ~ts name args =
+  J.Obj
+    ([
+       ("ph", J.Str "i");
+       ("s", J.Str "t");
+       ("pid", J.Int sim_pid);
+       ("tid", J.Int tid);
+       ("ts", J.Int ts);
+       ("name", J.Str name);
+     ]
+    @ if args = [] then [] else [ ("args", J.Obj args) ])
+
+let flow ~phase ~id ~tid ~ts =
+  J.Obj
+    ([
+       ("ph", J.Str phase);
+       ("cat", J.Str "bcast");
+       ("id", J.Int id);
+       ("pid", J.Int sim_pid);
+       ("tid", J.Int tid);
+       ("ts", J.Int ts);
+       ("name", J.Str "bcast");
+     ]
+    @ if phase = "f" then [ ("bp", J.Str "e") ] else [])
+
+let json ?spans ~p trace =
+  (* Per-pid ascending step times: the flow-arrow targets. The trace has
+     no per-destination delivery event (deliveries are folded into the
+     receiving step), so a broadcast's arrow to [dst] lands on [dst]'s
+     first step strictly after the send — exactly when the engine first
+     hands the message over, modulo adversarial extra delay. *)
+  (* A [Perform] is a step that executed a task ([Step] is recorded only
+     for bookkeeping steps), so both anchor flow arrows. *)
+  let steps = Array.make (max p 1) [] in
+  Trace.iter trace (fun ev ->
+      match ev with
+      | Trace.Step { time; pid } | Trace.Perform { time; pid; _ } ->
+        steps.(pid) <- time :: steps.(pid)
+      | _ -> ());
+  let steps = Array.map (fun l -> Array.of_list (List.rev l)) steps in
+  let first_step_after pid t =
+    let a = steps.(pid) in
+    let lo = ref 0 and hi = ref (Array.length a) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if a.(mid) > t then hi := mid else lo := mid + 1
+    done;
+    if !lo < Array.length a then Some a.(!lo) else None
+  in
+  let evs = ref [] in
+  let emit e = evs := e :: !evs in
+  emit (meta_event ~pid:sim_pid ~tid:0 "process_name" "simulation");
+  for i = 0 to p - 1 do
+    emit (meta_event ~pid:sim_pid ~tid:i "thread_name" (Printf.sprintf "p%d" i))
+  done;
+  let flow_id = ref 0 in
+  Trace.iter trace (fun ev ->
+      match ev with
+      | Trace.Step { time; pid } ->
+        emit (complete ~tid:pid ~ts:(usec time) ~dur:step_dur "step" [])
+      | Trace.Delayed { time; pid } ->
+        emit (instant ~tid:pid ~ts:(usec time) "delayed" [])
+      | Trace.Perform { time; pid; task; fresh } ->
+        emit
+          (complete ~tid:pid ~ts:(usec time) ~dur:step_dur
+             (if fresh then "perform" else "perform (redundant)")
+             [ ("task", J.Int task); ("fresh", J.Bool fresh) ])
+      | Trace.Broadcast { time; src; copies } ->
+        emit
+          (instant ~tid:src ~ts:(usec time) "broadcast"
+             [ ("copies", J.Int copies) ]);
+        (* One flow id per (broadcast, destination): an [s] is emitted
+           only when its [f] target exists, so every arrow is a matched
+           pair — pinned by test/test_span.ml. *)
+        for dst = 0 to p - 1 do
+          if dst <> src then
+            match first_step_after dst time with
+            | None -> ()
+            | Some t_arrive ->
+              let id = !flow_id in
+              incr flow_id;
+              emit (flow ~phase:"s" ~id ~tid:src ~ts:(usec time));
+              emit (flow ~phase:"f" ~id ~tid:dst ~ts:(usec t_arrive))
+        done
+      | Trace.Halt { time; pid } -> emit (instant ~tid:pid ~ts:(usec time) "halt" [])
+      | Trace.Crash { time; pid } ->
+        emit (instant ~tid:pid ~ts:(usec time) "crash" [])
+      | Trace.Restart { time; pid } ->
+        emit (instant ~tid:pid ~ts:(usec time) "restart" [])
+      | Trace.Note { time; text } ->
+        emit (instant ~tid:0 ~ts:(usec time) ("note: " ^ text) []));
+  (match spans with
+   | None -> ()
+   | Some sp ->
+     (* The self-profiler only keeps per-phase totals, so the profile
+        track renders one slice per phase laid end to end: a stacked-bar
+        reading of where engine wall-time went. *)
+     emit (meta_event ~pid:profile_pid ~tid:0 "process_name" "engine profile");
+     emit (meta_event ~pid:profile_pid ~tid:0 "thread_name" "phases");
+     let ts = ref 0.0 in
+     List.iter
+       (fun (name, (total, count)) ->
+         (* unentered phases (e.g. [oracle] without --check) would be
+            zero-width slices: leave them off the track *)
+         if count > 0 then begin
+         let dur = total *. 1e6 in
+         emit
+           (J.Obj
+              [
+                ("ph", J.Str "X");
+                ("pid", J.Int profile_pid);
+                ("tid", J.Int 0);
+                ("ts", J.Float !ts);
+                ("dur", J.Float dur);
+                ("name", J.Str name);
+                ("args", J.Obj [ ("count", J.Int count) ]);
+              ]);
+         ts := !ts +. dur
+         end)
+       sp);
+  J.Obj
+    [
+      ("traceEvents", J.List (List.rev !evs));
+      ("displayTimeUnit", J.Str "ms");
+    ]
+
+let write oc ?spans ~p trace = Export.Json.pp_to_channel oc (json ?spans ~p trace)

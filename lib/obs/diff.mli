@@ -1,0 +1,73 @@
+(** Structured run-diff: compare two observability artifacts — JSONL
+    snapshot streams ([doall run --obs], [doall trace --jsonl]) or
+    whole-file JSON documents (BENCH_*.json, [--chrome] traces) — with
+    per-metric tolerances ([doall obs diff A B]).
+
+    The determinism contract (docs/OBSERVABILITY.md) says everything in
+    these artifacts is bit-stable except wall-clock-derived numbers. The
+    diff enforces exactly that split:
+
+    - {e machine-dependent} values — any value under a key whose name
+      contains ["wall"], ["speedup"], ["rss"], ["measured"] or
+      ["seconds"], or is ["ns"]/[…_ns] — pass when within an absolute
+      slack of 1 s {e or} a max/min ratio of at most [?tol]
+      (default 1.5, same sign);
+    - every other value must be {e exactly} equal, field for field,
+      line for line.
+
+    A comparison yields {!finding}s (empty = artifacts agree); loading
+    or parse failures are [Error]s. The CLI maps these onto exit codes
+    0 (clean) / 1 (findings) / 2 (load error). The bench harness's
+    BENCH gate conditions are expressed in the same vocabulary via
+    {!gate_metric_pins} and {!gate_wall_ratio}. *)
+
+type finding = {
+  path : string;  (** JSONPath-ish locator, prefixed [line N] for JSONL *)
+  expected : string;  (** rendered value from the first artifact *)
+  actual : string;  (** rendered value from the second artifact *)
+  machine : bool;
+      (** true when the difference is in a machine-dependent key (it
+          exceeded the tolerance, not just differed) *)
+}
+
+val pp_finding : Format.formatter -> finding -> unit
+
+val machine_key : string -> bool
+(** The key classifier described above. *)
+
+val compare_values :
+  ?tol:float -> Export.Json.t -> Export.Json.t -> finding list
+(** Structural comparison of two documents; paths rooted at [$]. Object
+    fields match by name (missing/extra fields are findings, order is
+    ignored); a machine-dependent key puts its whole subtree under the
+    tolerance rule. *)
+
+val compare_docs :
+  ?tol:float -> Export.Json.t list -> Export.Json.t list -> finding list
+(** Pairs documents by position (JSONL writers emit in deterministic
+    order); a length mismatch is itself a finding. A single document on
+    both sides compares without the [line N] prefix. *)
+
+val load : string -> (Export.Json.t list, string) result
+(** Reads a file as one whole JSON document if it parses as one
+    (BENCH_*.json, Chrome traces), else as JSONL (one document per
+    non-empty line). [Error] carries the failing path/line. *)
+
+val compare_files : ?tol:float -> string -> string -> (finding list, string) result
+
+val gate_metric_pins :
+  key:string ->
+  pins:(string * int) list ->
+  actual:(string * int) list ->
+  finding list
+(** Exact golden-pin check: one finding per pin that is missing from or
+    unequal in [actual]; paths are [key.name]. *)
+
+val gate_wall_ratio :
+  key:string ->
+  reference_s:float ->
+  wall_s:float ->
+  min_ratio:float ->
+  finding list
+(** Perf-regression gate: empty when [reference_s /. wall_s >=
+    min_ratio], else one machine-flagged finding describing the miss. *)

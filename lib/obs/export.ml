@@ -95,6 +95,193 @@ module Json = struct
     render ~indent:true ~level:0 buf j;
     Buffer.add_char buf '\n';
     output_string oc (Buffer.contents buf)
+
+  exception Parse_error of string
+
+  (* Recursive-descent parser for everything this module writes (and for
+     general RFC 8259 documents). Numeric literals written with '.', 'e'
+     or 'E' parse as [Float], bare integers as [Int] — [float_repr]
+     guarantees every float we print carries one of those characters, so
+     the distinction round-trips and Diff can apply exact-vs-tolerance
+     rules from the parsed value alone. *)
+  let of_string input =
+    let n = String.length input in
+    let pos = ref 0 in
+    let fail msg =
+      raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos))
+    in
+    let peek () = if !pos < n then Some input.[!pos] else None in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match input.[!pos] with
+            | ' ' | '\t' | '\n' | '\r' -> true
+            | _ -> false)
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if !pos < n && input.[!pos] = c then incr pos
+      else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let lit word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub input !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let add_utf8 buf code =
+      if code < 0x80 then Buffer.add_char buf (Char.chr code)
+      else if code < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+      end
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        match input.[!pos] with
+        | '"' ->
+          incr pos;
+          Buffer.contents buf
+        | '\\' ->
+          incr pos;
+          if !pos >= n then fail "truncated escape";
+          (match input.[!pos] with
+           | '"' -> Buffer.add_char buf '"'; incr pos
+           | '\\' -> Buffer.add_char buf '\\'; incr pos
+           | '/' -> Buffer.add_char buf '/'; incr pos
+           | 'b' -> Buffer.add_char buf '\b'; incr pos
+           | 'f' -> Buffer.add_char buf '\012'; incr pos
+           | 'n' -> Buffer.add_char buf '\n'; incr pos
+           | 'r' -> Buffer.add_char buf '\r'; incr pos
+           | 't' -> Buffer.add_char buf '\t'; incr pos
+           | 'u' ->
+             if !pos + 4 >= n then fail "truncated \\u escape";
+             let code =
+               match int_of_string_opt ("0x" ^ String.sub input (!pos + 1) 4)
+               with
+               | Some c -> c
+               | None -> fail "bad \\u escape"
+             in
+             add_utf8 buf code;
+             pos := !pos + 5
+           | _ -> fail "bad escape");
+          go ()
+        | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      if peek () = Some '-' then incr pos;
+      while
+        !pos < n
+        && (match input.[!pos] with
+            | '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true
+            | _ -> false)
+      do
+        incr pos
+      done;
+      let tok = String.sub input start (!pos - start) in
+      if
+        String.contains tok '.' || String.contains tok 'e'
+        || String.contains tok 'E'
+      then
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail "bad number"
+      else
+        match int_of_string_opt tok with
+        | Some i -> Int i
+        | None -> (
+          (* integer literal overflowing 63 bits: fall back to float *)
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> fail "bad number")
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              incr pos;
+              members ()
+            | Some '}' -> incr pos
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+      | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          List []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              incr pos;
+              elements ()
+            | Some ']' -> incr pos
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ();
+          List (List.rev !items)
+        end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> lit "true" (Bool true)
+      | Some 'f' -> lit "false" (Bool false)
+      | Some 'n' -> lit "null" Null
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing input";
+      v
+    with
+    | v -> Ok v
+    | exception Parse_error msg -> Error msg
 end
 
 let version = 1
@@ -171,12 +358,19 @@ let snapshot_lines (s : Probe.snapshot) =
   let histograms =
     List.map
       (fun (name, (h : Probe.histogram_snapshot)) ->
+        let pctl q =
+          let lo, hi = Probe.percentile h q in
+          List [ Int lo; Int hi ]
+        in
         ( "histogram",
           [
             ("name", Str name);
             ("count", Int h.Probe.count);
             ("sum", Int h.Probe.sum);
             ("max", Int h.Probe.max);
+            ("p50", pctl 0.50);
+            ("p90", pctl 0.90);
+            ("p99", pctl 0.99);
             ( "buckets",
               List
                 (List.map
@@ -214,13 +408,32 @@ let snapshot_lines (s : Probe.snapshot) =
   in
   counters @ gauges @ histograms @ vectors @ series
 
-let write_run oc ~meta ?snapshot m =
+let spans_fields (sp : Span.snapshot) =
+  let open Json in
+  [
+    ( "phases",
+      List
+        (List.map
+           (fun (name, (total, count)) ->
+             Obj
+               [
+                 ("name", Str name);
+                 ("wall_s", Float total);
+                 ("count", Int count);
+               ])
+           sp) );
+  ]
+
+let write_run oc ~meta ?snapshot ?spans m =
   line oc ~kind:"run" meta;
   line oc ~kind:"metrics" (metrics_fields m);
-  match snapshot with
+  (match snapshot with
+   | None -> ()
+   | Some s ->
+     List.iter (fun (kind, fields) -> line oc ~kind fields) (snapshot_lines s));
+  match spans with
   | None -> ()
-  | Some s ->
-    List.iter (fun (kind, fields) -> line oc ~kind fields) (snapshot_lines s)
+  | Some sp -> line oc ~kind:"phases" (spans_fields sp)
 
 let write_trace oc ~meta m trace =
   line oc ~kind:"trace"

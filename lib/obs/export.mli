@@ -32,6 +32,13 @@ module Json : sig
   val pp_to_channel : out_channel -> t -> unit
   (** Multi-line, 2-space-indented rendering (for whole-file artifacts
       like BENCH_*.json). *)
+
+  val of_string : string -> (t, string) result
+  (** Parse one RFC 8259 document. Numeric literals containing ['.'],
+      ['e'] or ['E'] parse as {!Float}, bare integers as {!Int} —
+      matching what the printers emit, so values round-trip with their
+      exact/approximate character intact (what {!Diff} keys on).
+      Errors carry a byte offset. *)
 end
 
 val version : int
@@ -51,16 +58,26 @@ val trace_event_fields : Doall_sim.Trace.event -> (string * Json.t) list
 val snapshot_lines : Probe.snapshot -> (string * (string * Json.t) list) list
 (** One [(kind, fields)] pair per instrument: kinds [counter], [gauge],
     [histogram], [vector], [series]. Histogram buckets carry explicit
-    inclusive [lo]/[hi] bounds. *)
+    inclusive [lo]/[hi] bounds, and every histogram line carries exact
+    bucket-certified [p50]/[p90]/[p99] intervals ([[lo, hi]] pairs from
+    {!Probe.percentile}). *)
+
+val spans_fields : Span.snapshot -> (string * Json.t) list
+(** The [phases] line payload: a ["phases"] list with one
+    [{"name", "wall_s", "count"}] object per engine phase. [wall_s] is
+    machine-dependent (named so {!Diff} tolerance-gates it); [count] is
+    deterministic. *)
 
 val write_run :
   out_channel ->
   meta:(string * Json.t) list ->
   ?snapshot:Probe.snapshot ->
+  ?spans:Span.snapshot ->
   Doall_sim.Metrics.t ->
   unit
 (** Header line (kind [run], with [meta] inlined), the metrics line,
-    then the snapshot's instrument lines, if any. *)
+    then the snapshot's instrument lines, then a [phases] line when a
+    span snapshot is given. *)
 
 val write_trace :
   out_channel ->

@@ -178,6 +178,20 @@ let sorted tbl f =
   Hashtbl.fold (fun name i acc -> (name, f i) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+let percentile (h : histogram_snapshot) q =
+  if h.count = 0 then (0, 0)
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int h.count))) in
+    let rec walk seen = function
+      | [] -> bucket_bounds 0 (* unreachable: ranks <= count *)
+      | (i, n) :: rest ->
+          if seen + n >= rank then bucket_bounds i else walk (seen + n) rest
+    in
+    let lo, hi = walk 0 h.buckets in
+    (lo, min hi h.max)
+  end
+
 let snapshot (pr : t) =
   {
     counters = sorted pr.counters (fun c -> c.c_v);

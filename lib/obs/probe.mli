@@ -103,3 +103,11 @@ val snapshot : t -> snapshot
 
 val bucket_bounds : int -> int * int
 (** [(lo, hi)] of a bucket index, inclusive; bucket 0 is [(0, 0)]. *)
+
+val percentile : histogram_snapshot -> float -> int * int
+(** [percentile h q] locates the rank-[ceil q*count] observation
+    (q clamped to [0,1]) in the log buckets and returns the tightest
+    interval the buckets can certify: the containing bucket's
+    [bucket_bounds], with the upper bound capped at the observed [max].
+    Exact to bucket resolution — deterministic, no interpolation. The
+    empty histogram yields [(0, 0)]. *)

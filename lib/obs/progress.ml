@@ -42,13 +42,16 @@ let eta_string ~elapsed ~done_ ~total =
         (int_of_float remaining mod 60)
     else Printf.sprintf "%.0fs" remaining
 
+(* Every overwrite erases to end-of-line (CSI K) before rewriting: a
+   shrinking line ("ETA 1m40s" -> "ETA 9s") must not leave the tail of
+   the longer previous render on screen. Pinned by test/test_obs.ml. *)
 let render t ~final =
   let elapsed = Unix.gettimeofday () -. t.start in
   if final then
-    Printf.fprintf t.out "\r%s: %d/%d cells, %.1fs elapsed        \n%!"
+    Printf.fprintf t.out "\r\027[K%s: %d/%d cells, %.1fs elapsed\n%!"
       t.label t.done_ t.total elapsed
   else
-    Printf.fprintf t.out "\r%s: %d/%d cells (%.0f%%), ETA %s   %!" t.label
+    Printf.fprintf t.out "\r\027[K%s: %d/%d cells (%.0f%%), ETA %s%!" t.label
       t.done_ t.total
       (100.0 *. float_of_int t.done_ /. float_of_int t.total)
       (eta_string ~elapsed ~done_:t.done_ ~total:t.total)
@@ -72,5 +75,5 @@ let tick t =
 let finish t =
   if t.active && not t.closed then begin
     t.closed <- true;
-    Printf.fprintf t.out "\r%s\r%!" (String.make 60 ' ')
+    Printf.fprintf t.out "\r\027[K%!"
   end

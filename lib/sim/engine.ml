@@ -29,6 +29,29 @@ type instruments = {
   s_inflight : Probe.series; (* net.in_flight per tick *)
 }
 
+(* The engine's span catalogue (docs/OBSERVABILITY.md): wall-clock
+   phase sections recorded behind the same cached-enabled-flag trick as
+   the probes. Spans only read the clock, so metrics and RNG streams
+   are bit-identical with profiling on, off, or absent. *)
+type phases = {
+  ph_on : bool;
+  ph_deliver : Span.span; (* message delivery into a stepping pid *)
+  ph_algo : Span.span; (* A.step: the algorithm's local transition *)
+  ph_adv : Span.span; (* adversary decisions: restart/crash/schedule *)
+  ph_bcast : Span.span; (* outbound traffic + step-result bookkeeping *)
+  ph_oracle : Span.span; (* invariant-oracle audits (0 unless ~check) *)
+}
+
+let phases spans =
+  {
+    ph_on = Span.enabled spans;
+    ph_deliver = Span.span spans "deliver";
+    ph_algo = Span.span spans "algo_step";
+    ph_adv = Span.span spans "adversary";
+    ph_bcast = Span.span spans "bcast_maint";
+    ph_oracle = Span.span spans "oracle";
+  }
+
 let instruments probe ~p =
   {
     obs_on = Probe.enabled probe;
@@ -79,6 +102,7 @@ module Make (A : Algorithm.S) = struct
     done_seen : bool array; (* pids counted in [done_alive] *)
     per_proc_work : int array;
     ins : instruments;
+    ph : phases;
     trace : Trace.t;
     check : Oracle.t option; (* the invariant oracle, when [~check:true] *)
     mutable oracle : Adversary.oracle option;
@@ -118,12 +142,15 @@ module Make (A : Algorithm.S) = struct
      with Exit -> ());
     List.rev !performed
 
-  let create ?probe ?(check = false) cfg ~d ~adversary =
+  let create ?probe ?spans ?(check = false) cfg ~d ~adversary =
     if d < 0 then invalid_arg "Engine.create: d must be non-negative";
     let d = max 1 d in
     let p = cfg.Config.p in
     let probe =
       match probe with Some pr -> pr | None -> Probe.create ~enabled:false ()
+    in
+    let spans =
+      match spans with Some sp -> sp | None -> Span.create ~enabled:false ()
     in
     let stream_delta =
       let constant =
@@ -168,6 +195,7 @@ module Make (A : Algorithm.S) = struct
         done_seen = Array.make p false;
         per_proc_work = Array.make p 0;
         ins = instruments probe ~p;
+        ph = phases spans;
         trace = Trace.create ();
         check = (if check then Some (Oracle.create ()) else None);
         oracle = None;
@@ -302,20 +330,28 @@ module Make (A : Algorithm.S) = struct
 
   let step_processor eng pid =
     (match eng.check with
-     | Some _ -> Oracle.check_step (oracle_view eng) ~pid
+     | Some _ ->
+       Span.enter eng.ph.ph_oracle;
+       Oracle.check_step (oracle_view eng) ~pid;
+       Span.leave eng.ph.ph_oracle
      | None -> ());
     (* Deliver due messages, then take the local step. *)
     let st = eng.states.(pid) in
     (* receive_iter returns the logical delivery count itself (a digest
        callback can stand for a whole epoch), so probed and unprobed
        runs share one delivery loop *)
+    (* The three hot phases run back to back, so each transition is one
+       clock read ({!Span.shift}); the whole step costs four reads. *)
+    Span.enter eng.ph.ph_deliver;
     let delivered =
       Network.receive_iter eng.net ~dst:pid ~now:eng.time (fun src msg ->
           A.receive st ~src msg)
     in
     if eng.ins.obs_on && delivered > 0 then
       Probe.add eng.ins.i_deliveries delivered;
+    Span.shift eng.ph.ph_deliver eng.ph.ph_algo;
     let r = A.step st in
+    Span.shift eng.ph.ph_algo eng.ph.ph_bcast;
     eng.work <- eng.work + 1;
     eng.per_proc_work.(pid) <- eng.per_proc_work.(pid) + 1;
     (match r.Algorithm.performed with
@@ -388,6 +424,8 @@ module Make (A : Algorithm.S) = struct
           observe_latency delta';
           Network.send eng.net ~src:pid ~dst ~due:(eng.time + delta') msg)
     in
+    (* ph_bcast has been open since the post-[A.step] shift: it covers
+       the step's outbound traffic plus its result bookkeeping. *)
     (match r.Algorithm.broadcast with
      | Some msg ->
        let p = eng.cfg.Config.p in
@@ -434,6 +472,7 @@ module Make (A : Algorithm.S) = struct
         Probe.observe eng.ins.i_fanout fan
       end
     end;
+    Span.leave eng.ph.ph_bcast;
     if r.Algorithm.halt then begin
       assert (A.is_done st);
       eng.halted.(pid) <- true;
@@ -454,14 +493,18 @@ module Make (A : Algorithm.S) = struct
 
   let tick eng =
     let o = oracle eng in
-    (* restarts before crashes: a pid both restarted and re-crashed in
-       the same tick ends the tick down, but its reset is visible *)
+    (* adversary decisions for the tick: restart, crash, and schedule
+       calls (restarts before crashes: a pid both restarted and
+       re-crashed in the same tick ends the tick down, but its reset is
+       visible) *)
+    Span.enter eng.ph.ph_adv;
     (match eng.adv.Adversary.restart with
      | None -> ()
      | Some r -> apply_restarts eng (r o));
     apply_crashes eng (eng.adv.Adversary.crash o);
     let p = eng.cfg.Config.p in
     let active = eng.adv.Adversary.schedule o in
+    Span.leave eng.ph.ph_adv;
     if Array.length active <> p then
       invalid_arg "Adversary.schedule: wrong array length";
     (* Time units are defined by the fastest processor: force someone to
@@ -514,7 +557,10 @@ module Make (A : Algorithm.S) = struct
       eng.sigma <- eng.time
     end;
     (match eng.check with
-     | Some oc -> Oracle.check_tick oc (oracle_view eng)
+     | Some oc ->
+       Span.enter eng.ph.ph_oracle;
+       Oracle.check_tick oc (oracle_view eng);
+       Span.leave eng.ph.ph_oracle
      | None -> ());
     eng.time <- eng.time + 1
 
@@ -549,18 +595,18 @@ module Make (A : Algorithm.S) = struct
 end
 
 let run_packed (module A : Algorithm.S) cfg ~d ~adversary ?max_time ?probe
-    ?check () =
+    ?spans ?check () =
   let module E = Make (A) in
-  let eng = E.create ?probe ?check cfg ~d ~adversary in
+  let eng = E.create ?probe ?spans ?check cfg ~d ~adversary in
   E.run ?max_time eng
 
 let run_traced (module A : Algorithm.S) cfg ~d ~adversary ?max_time ?probe
-    ?check () =
+    ?spans ?check () =
   let cfg =
     Config.make ~seed:cfg.Config.seed ~record_trace:true ~p:cfg.Config.p
       ~t:cfg.Config.t ()
   in
   let module E = Make (A) in
-  let eng = E.create ?probe ?check cfg ~d ~adversary in
+  let eng = E.create ?probe ?spans ?check cfg ~d ~adversary in
   let m = E.run ?max_time eng in
   (m, E.trace eng)

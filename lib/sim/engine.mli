@@ -31,6 +31,7 @@ module Make (A : Algorithm.S) : sig
 
   val create :
     ?probe:Probe.t ->
+    ?spans:Span.t ->
     ?check:bool ->
     Config.t ->
     d:int ->
@@ -48,6 +49,15 @@ module Make (A : Algorithm.S) : sig
       — and records into them only behind a single branch per site, so
       a disabled or absent probe leaves metrics and RNG streams
       bit-identical (pinned by [test/test_obs.ml]).
+
+      [?spans] attaches a wall-clock self-profiler (default: a private
+      disabled one). The engine registers its phase catalogue —
+      [deliver], [algo_step], [adversary], [bcast_maint], [oracle] —
+      and brackets each section with {!Span.enter}/{!Span.leave} behind
+      the same cached-enabled-flag trick, so a disabled or absent
+      profiler costs one branch per site and never reads the clock.
+      Span totals are machine-dependent; span {e counts} are
+      deterministic (pinned by [test/test_span.ml]).
 
       [?check:true] attaches the invariant oracle ({!Oracle}): every
       tick and every step are audited and the first violated invariant
@@ -81,6 +91,7 @@ val run_packed :
   adversary:Adversary.t ->
   ?max_time:int ->
   ?probe:Probe.t ->
+  ?spans:Span.t ->
   ?check:bool ->
   unit ->
   Metrics.t
@@ -93,6 +104,7 @@ val run_traced :
   adversary:Adversary.t ->
   ?max_time:int ->
   ?probe:Probe.t ->
+  ?spans:Span.t ->
   ?check:bool ->
   unit ->
   Metrics.t * Trace.t

@@ -116,6 +116,24 @@ let test_series_and_snapshot_isolation () =
   check_int "old snapshot unchanged" 100
     (Array.length (List.assoc "s" snap.Probe.series))
 
+let test_percentile () =
+  let pr = Probe.create () in
+  let h = Probe.histogram pr "h" in
+  let snap () = List.assoc "h" (Probe.snapshot pr).Probe.histograms in
+  check "empty histogram" true (Probe.percentile (snap ()) 0.5 = (0, 0));
+  (* 9 ones, 1 seventeen: p50/p90 sit in the ones, p99 in bucket 5 *)
+  Probe.observe_n h 1 9;
+  Probe.observe h 17;
+  let hs = snap () in
+  check "p50 = ones bucket" true (Probe.percentile hs 0.50 = (1, 1));
+  check "p90 = ones bucket" true (Probe.percentile hs 0.90 = (1, 1));
+  (* bucket 5 spans [16, 31]; hi is capped at the observed max *)
+  check "p99 capped at max" true (Probe.percentile hs 0.99 = (16, 17));
+  check "q=1 is the max bucket" true (Probe.percentile hs 1.0 = (16, 17));
+  (* out-of-range q clamps rather than raising *)
+  check "q clamped low" true (Probe.percentile hs (-3.0) = (1, 1));
+  check "q clamped high" true (Probe.percentile hs 9.0 = (16, 17))
+
 (* ------------------------------------------------------------------ *)
 (* Engine instrumentation consistency vs Metrics.t.                    *)
 
@@ -377,19 +395,60 @@ let validate_lines lines =
     lines
 
 let test_export_run_jsonl () =
-  let r, snap = probed_run ~algo:"paran1" ~adv:"max-delay" ~p:6 ~t:24 ~d:3 in
+  let probe = Probe.create () in
+  let r =
+    Runner.run ~seed:3 ~probe ~profile:true ~algo:"paran1" ~adv:"max-delay"
+      ~p:6 ~t:24 ~d:3 ()
+  in
+  let snap = Probe.snapshot probe in
   let kinds =
     with_temp_file (fun path ->
         let oc = open_out path in
         Export.write_run oc
           ~meta:[ ("algo", Export.Json.Str "paran1") ]
-          ~snapshot:snap r.Runner.metrics;
+          ~snapshot:snap ?spans:r.Runner.spans r.Runner.metrics;
         close_out oc;
         validate_lines (read_lines path))
   in
   let count k = List.length (List.filter (fun (k', _) -> k' = k) kinds) in
   check_int "one run header" 1 (count "run");
   check_int "one metrics line" 1 (count "metrics");
+  check_int "one phases line" 1 (count "phases");
+  (* the phases line lists the engine catalogue with counts *)
+  let _, phases_line = List.find (fun (k, _) -> k = "phases") kinds in
+  (match assoc_exn "phases" phases_line with
+   | JList phases ->
+     let names =
+       List.map
+         (fun ph ->
+           match assoc_exn "name" ph with
+           | JStr s -> s
+           | _ -> Alcotest.fail "phase name not a string")
+         phases
+     in
+     check "engine phase catalogue" true
+       (List.sort compare names
+       = [ "adversary"; "algo_step"; "bcast_maint"; "deliver"; "oracle" ]);
+     List.iter
+       (fun ph ->
+         check "phase has wall_s" true
+           (match assoc_exn "wall_s" ph with JNum _ -> true | _ -> false);
+         check "phase has count" true
+           (match assoc_exn "count" ph with JNum _ -> true | _ -> false))
+       phases
+   | _ -> Alcotest.fail "phases field not a list");
+  (* every histogram line carries exact percentile intervals *)
+  List.iter
+    (fun (k, j) ->
+      if k = "histogram" then
+        List.iter
+          (fun q ->
+            check (q ^ " is an interval") true
+              (match assoc_exn q j with
+               | JList [ JNum lo; JNum hi ] -> lo <= hi
+               | _ -> false))
+          [ "p50"; "p90"; "p99" ])
+    kinds;
   check_int "counter lines" (List.length snap.Probe.counters) (count "counter");
   check_int "gauge lines" (List.length snap.Probe.gauges) (count "gauge");
   check_int "histogram lines"
@@ -496,6 +555,55 @@ let test_progress_rendering () =
            ~finally:(fun () -> close_in ic)
            (fun () -> in_channel_length ic)))
 
+(* Overwrite hygiene, through a real pipe: every carriage return must
+   be chased by a clear-to-EOL (CSI K) so a shrinking render ("ETA
+   1m40s" -> "ETA 9s") cannot leave the old line's tail on screen, and
+   no render may rely on trailing-space padding instead. *)
+let test_progress_erases_line () =
+  let r, w = Unix.pipe () in
+  let wc = Unix.out_channel_of_descr w in
+  let pr = Doall_obs.Progress.create ~out:wc ~force:true ~total:3 ~label:"pipe" () in
+  Doall_obs.Progress.tick pr;
+  (* space the renders past the 0.05s throttle so both draw *)
+  Unix.sleepf 0.06;
+  Doall_obs.Progress.tick pr;
+  Doall_obs.Progress.tick pr;
+  Doall_obs.Progress.finish pr;
+  close_out wc;
+  let text =
+    let buf = Buffer.create 256 in
+    let chunk = Bytes.create 256 in
+    let rec drain () =
+      match Unix.read r chunk 0 256 with
+      | 0 -> ()
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        drain ()
+    in
+    drain ();
+    Unix.close r;
+    Buffer.contents buf
+  in
+  check "pipe saw renders" true (String.length text > 0);
+  check "intermediate render drew" true
+    (try ignore (Str.search_forward (Str.regexp_string "2/3") text 0); true
+     with Not_found -> false);
+  (* every \r is immediately followed by ESC [ K *)
+  let n = String.length text in
+  let rec scan i ok =
+    if i >= n then ok
+    else if text.[i] <> '\r' then scan (i + 1) ok
+    else
+      scan (i + 1)
+        (ok && i + 3 < n && text.[i + 1] = '\027' && text.[i + 2] = '['
+       && text.[i + 3] = 'K')
+  in
+  check "every \\r erases to EOL" true (String.contains text '\r' && scan 0 true);
+  (* and no render papers over stale tails with trailing blanks *)
+  check "no space-padding before overwrite" true
+    (try ignore (Str.search_forward (Str.regexp " +\r") text 0); false
+     with Not_found -> true)
+
 (* ------------------------------------------------------------------ *)
 (* Pool observability.                                                 *)
 
@@ -523,6 +631,7 @@ let suite =
     Alcotest.test_case "vector" `Quick test_vector;
     Alcotest.test_case "series + snapshot isolation" `Quick
       test_series_and_snapshot_isolation;
+    Alcotest.test_case "percentile" `Quick test_percentile;
     Alcotest.test_case "engine instruments vs metrics" `Quick
       test_engine_instruments_match_metrics;
     Alcotest.test_case "determinism: jobs x probes" `Quick
@@ -532,5 +641,6 @@ let suite =
     Alcotest.test_case "JSON escaping/floats" `Quick
       test_json_escaping_and_floats;
     Alcotest.test_case "progress rendering" `Quick test_progress_rendering;
+    Alcotest.test_case "progress erases line" `Quick test_progress_erases_line;
     Alcotest.test_case "pool jobs_completed" `Quick test_pool_jobs_completed;
   ]
