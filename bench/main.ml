@@ -126,12 +126,18 @@ let perf ~quick ~out () =
       (fun (algo, adv, p, t, d) ->
         let key = Printf.sprintf "%s/%s/p%d/t%d/d%d" algo adv p t d in
         let t0 = Unix.gettimeofday () in
-        let m = (Runner.run ~seed:42 ~algo ~adv ~p ~t ~d ()).Runner.metrics in
+        (* run_spec reports a capped run as metrics.completed = false
+           instead of raising Run_timeout: one slow cell becomes an
+           annotated row, not an aborted grid *)
+        let m =
+          (Runner.run_spec (Runner.spec ~seed:42 ~algo ~adv ~p ~t ~d ()))
+            .Runner.metrics
+        in
         let wall = Unix.gettimeofday () -. t0 in
         let seed_s = List.assoc_opt key perf_seed_baseline in
         Table.add_row tbl
           [
-            key;
+            (if m.Metrics.completed then key else key ^ " (capped)");
             Table.cell_int m.Metrics.work;
             Table.cell_int m.Metrics.messages;
             Printf.sprintf "%.3f" wall;
@@ -762,7 +768,10 @@ let xl ~quick ~out () =
         let key = Printf.sprintf "%s/%s/p%d/t%d/d%d" algo adv p t d in
         Gc.compact ();
         let t0 = Unix.gettimeofday () in
-        let r = Runner.run ~seed:42 ~profile:true ~algo ~adv ~p ~t ~d () in
+        let r =
+          Runner.run_spec ~profile:true
+            (Runner.spec ~seed:42 ~algo ~adv ~p ~t ~d ())
+        in
         let m = r.Runner.metrics in
         let wall = Unix.gettimeofday () -. t0 in
         let rss = vm_hwm_kb () in
@@ -771,9 +780,14 @@ let xl ~quick ~out () =
             key wall quick_ceiling_s;
           fail := true
         end;
+        if not m.Metrics.completed then begin
+          Printf.eprintf "FATAL: xl cell %s hit the time cap at %d\n" key
+            m.Metrics.sigma;
+          fail := true
+        end;
         Table.add_row tbl
           [
-            key;
+            (if m.Metrics.completed then key else key ^ " (capped)");
             Table.cell_int m.Metrics.work;
             Table.cell_int m.Metrics.messages;
             Table.cell_int m.Metrics.sigma;

@@ -164,16 +164,33 @@ let list_cmd =
     print_endline "Adversaries:";
     List.iter
       (fun s -> Printf.printf "  %-18s %s\n" s.Runner.adv_name s.Runner.adv_doc)
-      Runner.adversaries
+      Runner.adversaries;
+    print_endline "";
+    print_endline
+      "  strategy:<spec>    any strategy-DSL spec, compiled on the spot \
+       (docs/FAULTS.md);\n\
+      \                     e.g. --adv 'strategy:sched=laggard;delay=max' \
+       or doall run --strategy ..."
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
+let strategy_arg =
+  Arg.(value & opt (some string) None & info [ "strategy" ] ~docv:"SPEC"
+         ~doc:"Run against a strategy-DSL spec instead of a named \
+               adversary (shorthand for --adv strategy:$(docv)); the \
+               grammar is in docs/FAULTS.md and what $(b,doall synth) \
+               prints replays through this flag.")
+
 let run_cmd =
   let doc = "Run one algorithm against one adversary and print metrics." in
-  let run algo adv p t d seed trace obs profile check faults_spec max_time =
+  let run algo adv strategy p t d seed trace obs profile check faults_spec
+      max_time =
     match (pos_int ~what:"p" p, pos_int ~what:"t" t) with
     | `Error e, _ | _, `Error e -> prerr_endline e; exit 2
     | `Ok p, `Ok t ->
+      let adv =
+        match strategy with None -> adv | Some s -> "strategy:" ^ s
+      in
       let faults = Option.map snd (parse_faults faults_spec) in
       (try
          if trace then begin
@@ -228,12 +245,16 @@ let run_cmd =
         exit 1
       | Doall_sim.Oracle.Invariant_violation v ->
         Format.eprintf "doall: %a@." Doall_sim.Oracle.pp_violation v;
-        exit 1)
+        exit 1
+      | Failure msg ->
+        (* unknown names and unparsable strategy:<spec> arguments *)
+        prerr_endline ("doall: " ^ msg);
+        exit 2)
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ algo_arg $ adv_arg $ p_arg $ t_arg $ d_arg $ seed_arg
-          $ trace_arg $ obs_arg $ profile_arg $ check_arg $ faults_arg
-          $ max_time_arg)
+    Term.(const run $ algo_arg $ adv_arg $ strategy_arg $ p_arg $ t_arg
+          $ d_arg $ seed_arg $ trace_arg $ obs_arg $ profile_arg $ check_arg
+          $ faults_arg $ max_time_arg)
 
 let trace_cmd =
   let doc =
@@ -440,6 +461,245 @@ let compare_cmd =
           $ jobs_arg $ progress_arg $ check_arg $ faults_arg)
 
 (* ------------------------------------------------------------------ *)
+(* Search-driven worst-case synthesis: evolve a strategy-DSL spec
+   against one (algo, p, t, d) cell. Candidates run with the invariant
+   oracle on by default, so the search doubles as a bug hunt: a
+   violation scores as an instant maximum and fails the command. *)
+
+module Synth = Doall_adversary.Synth
+module Strategy = Doall_adversary.Strategy
+
+let synth_cmd =
+  let doc =
+    "Search for a worst-case adversary strategy (evolutionary, \
+     deterministic per seed)."
+  in
+  let budget_arg =
+    Arg.(value & opt int 48 & info [ "budget" ] ~docv:"N"
+           ~doc:"Candidate evaluations to spend (each is one full \
+                 simulation of the cell).")
+  in
+  let population_arg =
+    Arg.(value & opt int 12 & info [ "population" ] ~docv:"N"
+           ~doc:"Population size of the evolutionary search.")
+  in
+  let fitness_arg =
+    Arg.(value & opt string "work" & info [ "fitness" ] ~docv:"F"
+           ~doc:"What to maximize: $(b,work), $(b,effort), $(b,sigma), \
+                 $(b,cap-hits), or $(b,wall-per-work) (the last is \
+                 wall-clock-based and therefore not deterministic).")
+  in
+  let space_arg =
+    Arg.(value & opt (some string) None & info [ "space" ] ~docv:"S"
+           ~doc:"Strategy space: $(b,full), $(b,live) or \
+                 $(b,quorum-safe); default follows the algorithm's \
+                 registered liveness requirement.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+           ~doc:"Write JSONL search progress ('synth-gen' per \
+                 generation, 'synth-best' at the end, plus a \
+                 best-so-far probe series) to $(docv) ('-' for \
+                 stdout).")
+  in
+  let wall_cap_arg =
+    Arg.(value & opt (some float) None & info [ "wall-cap" ] ~docv:"SECONDS"
+           ~doc:"Stop the search after $(docv) seconds of wall clock \
+                 (finishing the in-flight generation). The reached \
+                 generation count becomes machine-dependent; results \
+                 up to each generation stay deterministic.")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ]
+           ~doc:"CI smoke mode: shrink the population to 6 so a tiny \
+                 --budget still gets past generation zero.")
+  in
+  let no_check_arg =
+    Arg.(value & flag & info [ "no-check" ]
+           ~doc:"Evaluate candidates without the invariant oracle \
+                 (faster; forfeits the search's bug-hunting role).")
+  in
+  let run algo p t d seed budget population fitness space max_time out
+      wall_cap quick no_check jobs =
+    let fitness =
+      match Synth.fitness_of_string fitness with
+      | Ok f -> f
+      | Error e -> prerr_endline ("doall: --fitness: " ^ e); exit 2
+    in
+    let space =
+      match space with
+      | None -> None
+      | Some s -> (
+        match Strategy.space_of_string s with
+        | Ok sp -> Some sp
+        | Error e -> prerr_endline ("doall: --space: " ^ e); exit 2)
+    in
+    let population = if quick then min population 6 else population in
+    let probe = Probe.create () in
+    let best_series = Probe.series probe "synth.best_work" in
+    let run_search out_oc =
+      let on_generation (pr : Synth.progress) =
+        Printf.eprintf "gen %-3d evals %-4d best %-10g %s\n%!" pr.Synth.gen
+          pr.evals pr.best_score pr.best_spec;
+        (* infinity marks an oracle violation; clamp for the int series *)
+        let w =
+          if Float.is_finite pr.Synth.best_score then
+            int_of_float (Float.min pr.Synth.best_score 1e9)
+          else 1_000_000_000
+        in
+        Probe.sample best_series ~time:pr.Synth.gen w;
+        Option.iter
+          (fun oc ->
+            Export.line oc ~kind:"synth-gen"
+              Export.Json.
+                [
+                  ("gen", Int pr.Synth.gen);
+                  ("evals", Int pr.evals);
+                  ("best_score", Float pr.best_score);
+                  ("best_spec", Str pr.best_spec);
+                  ("capped", Int pr.capped);
+                  ("violations", Int pr.violations);
+                ])
+          out_oc
+      in
+      let outcome =
+        try
+          Worstcase.search ~seed ~population ~fitness ?space ?max_time
+            ?wall_cap_s:wall_cap ~check:(not no_check) ~on_generation ~jobs
+            ~algo ~p ~t ~d ~budget ()
+        with Failure msg -> prerr_endline ("doall: " ^ msg); exit 2
+      in
+      let e = outcome.Synth.best_eval in
+      Option.iter
+        (fun oc ->
+          Export.line oc ~kind:"synth-best"
+            Export.Json.
+              [
+                ("algo", Str algo);
+                ("p", Int p);
+                ("t", Int t);
+                ("d", Int d);
+                ("seed", Int seed);
+                ("fitness", Str (Synth.fitness_to_string fitness));
+                ("spec", Str outcome.Synth.best_spec);
+                ("score", Float outcome.Synth.best_score);
+                ("work", Int e.Synth.e_work);
+                ("messages", Int e.Synth.e_messages);
+                ("sigma", Int e.Synth.e_sigma);
+                ("completed", Int (if e.Synth.e_completed then 1 else 0));
+                ("evals", Int outcome.Synth.evals);
+                ("capped", Int outcome.Synth.capped);
+                ("violations", Int (List.length outcome.Synth.violations));
+              ];
+          List.iter
+            (fun (kind, fields) -> Export.line oc ~kind fields)
+            (Export.snapshot_lines (Probe.snapshot probe)))
+        out_oc;
+      Printf.printf "best strategy (%s, %d evals, %d capped):\n  %s\n"
+        (Synth.fitness_to_string fitness)
+        outcome.Synth.evals outcome.Synth.capped outcome.Synth.best_spec;
+      Printf.printf
+        "  score=%g work=%d messages=%d sigma=%d completed=%b\n"
+        outcome.Synth.best_score e.Synth.e_work e.Synth.e_messages
+        e.Synth.e_sigma e.Synth.e_completed;
+      Printf.printf
+        "replay:\n\
+        \  doall run --algo %s --strategy '%s' -p %d -t %d -d %d --seed \
+         %d --check\n"
+        algo outcome.Synth.best_spec p t d seed;
+      if outcome.Synth.violations <> [] then begin
+        Printf.eprintf
+          "doall: %d candidate(s) violated the invariant oracle:\n"
+          (List.length outcome.Synth.violations);
+        List.iter
+          (fun (spec, v) -> Printf.eprintf "  %s\n    %s\n" spec v)
+          outcome.Synth.violations;
+        exit 1
+      end
+    in
+    match out with
+    | None -> run_search None
+    | Some path -> Export.with_out path (fun oc -> run_search (Some oc))
+  in
+  Cmd.v (Cmd.info "synth" ~doc)
+    Term.(const run $ algo_arg $ p_arg $ t_arg $ d_arg $ seed_arg
+          $ budget_arg $ population_arg $ fitness_arg $ space_arg
+          $ max_time_arg $ out_arg $ wall_cap_arg $ quick_arg $ no_check_arg
+          $ jobs_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz-case replay: one integer seed rebuilds the exact failing run the
+   fuzz suite printed (dimensions, strategy, engine streams). *)
+
+let fuzz_cmd =
+  let doc = "Replay a fuzz-suite case from its reproducer seed." in
+  let replay_arg =
+    Arg.(required & opt (some int) None & info [ "replay" ] ~docv:"SEED"
+           ~doc:"The reproducer seed printed by the fuzz suite.")
+  in
+  let label_arg =
+    Arg.(value & opt (some string) None & info [ "algo" ] ~docv:"LABEL"
+           ~doc:"Replay only this algorithm label (default: all fuzzed \
+                 labels).")
+  in
+  let quorum_arg =
+    Arg.(value & flag & info [ "quorum-safe" ]
+           ~doc:"Force the quorum-safe case derivation (implied for the \
+                 quorum labels).")
+  in
+  let makers =
+    Fuzz_audit.core_makers
+    @ [ ("awq-q4", fun () -> Doall_quorum.Algo_awq.make ~q:4 ()) ]
+  in
+  let quorum_labels = [ "awq-q4" ] in
+  let run seed label quorum_flag =
+    let labels =
+      match label with
+      | Some l when List.mem_assoc l makers -> [ l ]
+      | Some l ->
+        Printf.eprintf "doall: unknown fuzz label %S; known: %s\n" l
+          (String.concat ", " (List.map fst makers));
+        exit 2
+      | None -> Doall_adversary.Fuzz_gen.labels
+    in
+    let failed = ref false in
+    List.iter
+      (fun label ->
+        let quorum_safe = quorum_flag || List.mem label quorum_labels in
+        let case = Doall_adversary.Fuzz_gen.case ~seed ~quorum_safe in
+        let { Doall_adversary.Fuzz_gen.p; t; d; strategy } = case in
+        let spec = Strategy.to_spec strategy in
+        Printf.printf "%-16s p=%-3d t=%-3d d=%-3d strategy:%s\n" label p t d
+          spec;
+        let adversary = Strategy.into strategy in
+        (match
+           Fuzz_audit.audit
+             ((List.assoc label makers) ())
+             ~p ~t ~d ~adversary ~seed
+         with
+        | Ok m ->
+          Printf.printf "  ok: work=%d messages=%d sigma=%d\n"
+            m.Doall_sim.Metrics.work m.Doall_sim.Metrics.messages
+            m.Doall_sim.Metrics.sigma
+        | Error e ->
+          failed := true;
+          Printf.printf "  FAIL: %s\n" e);
+        (* the same run through the registry, for ad-hoc poking (only
+           the labels that name registry algorithms) *)
+        match Runner.find_algo label with
+        | exception Failure _ -> ()
+        | _ ->
+          Printf.printf
+            "  rerun: doall run --algo %s --adv 'strategy:%s' -p %d -t %d \
+             -d %d --seed %d --check\n"
+            label spec p t d seed)
+      labels;
+    if !failed then exit 1
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const run $ replay_arg $ label_arg $ quorum_arg)
+
+(* ------------------------------------------------------------------ *)
 (* The experiment registry: the same specs `bench` runs, surfaced on the
    CLI. `list` and `describe` read the declarative metadata; `run`
    executes bodies through the lib/exp engine (pool parallelism, cell
@@ -595,8 +855,8 @@ let contention_cmd =
 let main =
   let doc = "message-delay-sensitive Do-All algorithms (Kowalski-Shvartsman)" in
   Cmd.group (Cmd.info "doall" ~doc)
-    [ list_cmd; run_cmd; trace_cmd; obs_cmd; sweep_cmd; compare_cmd; exp_cmd;
-      contention_cmd; lemma32_cmd ]
+    [ list_cmd; run_cmd; trace_cmd; obs_cmd; sweep_cmd; compare_cmd;
+      synth_cmd; fuzz_cmd; exp_cmd; contention_cmd; lemma32_cmd ]
 
 let () =
   (* Multicore grids stall on stop-the-world minor collections with the

@@ -53,3 +53,14 @@ val of_spec : string -> (t * string, string) result
     [dup=P], one copy), [reorder=P], e.g.
     ["drop=0.3,dup=0.2x2,reorder=0.1"]. Returns the policy and a
     normalized human-readable name, or [Error] with a usage message. *)
+
+val to_spec : t -> string option
+(** The normalized spec string a policy was built from — the inverse of
+    {!of_spec}: policies built by {!drop} / {!duplicate} / {!reorder},
+    by an {!all} of such policies, or by {!of_spec} itself serialize
+    back to the spec that rebuilds them ([of_spec] on the result returns
+    a policy with the same [to_spec]). Policies a spec cannot express
+    ({!none}, {!drop_all}, {!window}, hand-written closures) return
+    [None]. Implemented as a bounded physical-equality registry
+    populated by the constructors, so only the policy value originally
+    returned — not a copy — can be inverted. *)

@@ -1,0 +1,18 @@
+open Doall_sim
+
+type case = { p : int; t : int; d : int; strategy : Strategy.t }
+
+let case ~seed ~quorum_safe =
+  let rng = Rng.create seed in
+  let p = (if quorum_safe then 3 else 1) + Rng.int rng 12 in
+  let t = 1 + Rng.int rng 48 in
+  let d = 1 + Rng.int rng 12 in
+  let space = if quorum_safe then Strategy.Quorum_safe else Strategy.Live in
+  let strategy = Strategy.random ~rng ~space ~p ~t ~d () in
+  { p; t; d; strategy }
+
+let labels =
+  [
+    "trivial"; "da-q2"; "da-q5"; "paran1"; "paran2"; "padet";
+    "padet-throttled"; "paran1-fanout2"; "coord"; "awq-q4";
+  ]

@@ -1,0 +1,25 @@
+(** The fuzz suite's seed -> failing-case derivation, shared with the
+    CLI so a printed reproducer seed replays the exact run.
+
+    One integer seed deterministically yields the instance dimensions
+    and a random {!Strategy} drawn from the [Live] space (or
+    [Quorum_safe] for quorum algorithms): [test/test_fuzz.ml] fuzzes
+    with it, and [doall fuzz --replay <seed>] rebuilds the identical
+    case from the same seed. *)
+
+type case = {
+  p : int;
+  t : int;
+  d : int;
+  strategy : Strategy.t;
+}
+
+val case : seed:int -> quorum_safe:bool -> case
+(** Everything about the fuzz run except the algorithm under test (named
+    separately by its label). The run itself also uses [seed] as its
+    engine seed. *)
+
+val labels : string list
+(** The algorithm labels the fuzz suite covers — the legal values of
+    [doall fuzz --algo] (includes non-registry variants such as
+    ["padet-throttled"]). *)

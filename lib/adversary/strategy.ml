@@ -1,0 +1,848 @@
+open Doall_sim
+
+type sched =
+  | S_all
+  | S_solo of int
+  | S_rr of int
+  | S_random of float
+  | S_harmonic
+  | S_laggard
+
+type delay =
+  | D_const of int
+  | D_max
+  | D_uniform
+  | D_bimodal of float
+  | D_stage of int
+  | D_partition of int
+  | D_target of int
+  | D_churn of int * int
+
+type crash =
+  | C_none
+  | C_at of int * int * int
+  | C_staggered of int
+  | C_poisson of float
+  | C_flaky of int * int
+
+type fault = F_drop of float | F_dup of float * int | F_reorder of float
+
+type phase = {
+  sched : sched;
+  delay : delay;
+  crash : crash;
+  faults : fault list;
+  lasts : int option;
+}
+
+type t = phase list
+
+type space = Full | Live | In_model | Quorum_safe
+
+let space_to_string = function
+  | Full -> "full"
+  | Live -> "live"
+  | In_model -> "in-model"
+  | Quorum_safe -> "quorum-safe"
+
+let space_of_string = function
+  | "full" -> Ok Full
+  | "live" -> Ok Live
+  | "in-model" | "in_model" | "model" -> Ok In_model
+  | "quorum-safe" | "quorum_safe" -> Ok Quorum_safe
+  | s ->
+    Error
+      (Printf.sprintf "unknown space %S (full|live|in-model|quorum-safe)" s)
+
+(* map with a guaranteed left-to-right application order (List.map's is
+   unspecified); gene walking and RNG-drawing rewrites depend on it *)
+let rec map_seq f = function
+  | [] -> []
+  | x :: rest ->
+    let y = f x in
+    y :: map_seq f rest
+
+let mapi_seq f l =
+  let i = ref (-1) in
+  map_seq (fun x -> incr i; f !i x) l
+
+let rec init_seq n f i = if i >= n then [] else
+  let x = f i in
+  x :: init_seq n f (i + 1)
+
+let init_seq n f = init_seq n f 0
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+(* ---- normalization ---- *)
+
+let max_phases = 4
+let max_faults = 3
+
+let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
+
+(* quantize to 3 decimals so that %g printing round-trips exactly *)
+let quant3 x = Float.of_int (int_of_float ((x *. 1000.) +. 0.5)) /. 1000.
+let norm_prob x = quant3 (clamp 0.0 1.0 x)
+
+let norm_sched = function
+  | S_all -> S_all
+  | S_solo pid -> S_solo (clamp 0 4095 pid)
+  | S_rr w -> S_rr (clamp 1 4096 w)
+  | S_random pr -> S_random (norm_prob pr)
+  | S_harmonic -> S_harmonic
+  | S_laggard -> S_laggard
+
+let norm_delay = function
+  | D_const k -> D_const (clamp 1 4096 k)
+  | D_max -> D_max
+  | D_uniform -> D_uniform
+  | D_bimodal pr -> D_bimodal (norm_prob pr)
+  | D_stage k -> D_stage (clamp 1 4096 k)
+  | D_partition k -> D_partition (clamp 2 64 k)
+  | D_target m -> D_target (clamp 2 64 m)
+  | D_churn (a, b) -> D_churn (clamp 1 4096 a, clamp 1 4096 b)
+
+let norm_crash = function
+  | C_none -> C_none
+  | C_at (tm, n, s) ->
+    C_at (clamp 0 1_000_000 tm, clamp 0 4096 n, clamp 1 64 s)
+  | C_staggered e -> C_staggered (clamp 1 1_000_000 e)
+  | C_poisson r -> C_poisson (quant3 (clamp 0.0 0.5 r))
+  | C_flaky (u, dn) -> C_flaky (clamp 1 1_000_000 u, clamp 1 1_000_000 dn)
+
+let norm_fault = function
+  | F_drop pr -> F_drop (norm_prob pr)
+  | F_dup (pr, n) -> F_dup (norm_prob pr, clamp 1 8 n)
+  | F_reorder pr -> F_reorder (norm_prob pr)
+
+let fair_phase =
+  { sched = S_all; delay = D_const 1; crash = C_none; faults = []; lasts = None }
+
+let norm_phase ~last ph =
+  {
+    sched = norm_sched ph.sched;
+    delay = norm_delay ph.delay;
+    crash = norm_crash ph.crash;
+    faults = map_seq norm_fault (take max_faults ph.faults);
+    lasts =
+      (if last then None
+       else
+         Some
+           (match ph.lasts with
+           | None -> 1
+           | Some n -> clamp 1 1_000_000 n));
+  }
+
+let make phases =
+  match take max_phases phases with
+  | [] -> [ fair_phase ]
+  | phases ->
+    let n = List.length phases in
+    mapi_seq (fun i ph -> norm_phase ~last:(i = n - 1) ph) phases
+
+let phase ?(sched = S_all) ?(delay = D_const 1) ?(crash = C_none)
+    ?(faults = []) ?lasts () =
+  { sched; delay; crash; faults; lasts }
+
+(* ---- printing ---- *)
+
+let fg = Printf.sprintf "%g"
+
+let sched_to_string = function
+  | S_all -> "all"
+  | S_solo pid -> Printf.sprintf "solo:%d" pid
+  | S_rr w -> Printf.sprintf "rr:%d" w
+  | S_random pr -> "random:" ^ fg pr
+  | S_harmonic -> "harmonic"
+  | S_laggard -> "laggard"
+
+let delay_to_string = function
+  | D_const k -> Printf.sprintf "const:%d" k
+  | D_max -> "max"
+  | D_uniform -> "uniform"
+  | D_bimodal pr -> "bimodal:" ^ fg pr
+  | D_stage k -> Printf.sprintf "stage:%d" k
+  | D_partition k -> Printf.sprintf "partition:%d" k
+  | D_target m -> Printf.sprintf "target:%d" m
+  | D_churn (a, b) -> Printf.sprintf "churn:%d:%d" a b
+
+let crash_to_string = function
+  | C_none -> "none"
+  | C_at (tm, n, s) -> Printf.sprintf "at:%d:%d:%d" tm n s
+  | C_staggered e -> Printf.sprintf "staggered:%d" e
+  | C_poisson r -> "poisson:" ^ fg r
+  | C_flaky (u, dn) -> Printf.sprintf "flaky:%d:%d" u dn
+
+let fault_to_string = function
+  | F_drop pr -> "drop:" ^ fg pr
+  | F_dup (pr, n) -> Printf.sprintf "dup:%s:%d" (fg pr) n
+  | F_reorder pr -> "reorder:" ^ fg pr
+
+let phase_to_string ph =
+  String.concat ";"
+    (("sched=" ^ sched_to_string ph.sched)
+     :: ("delay=" ^ delay_to_string ph.delay)
+     :: ((match ph.crash with
+         | C_none -> []
+         | c -> [ "crash=" ^ crash_to_string c ])
+        @ map_seq (fun f -> "fault=" ^ fault_to_string f) ph.faults
+        @ match ph.lasts with
+          | None -> []
+          | Some n -> [ Printf.sprintf "for=%d" n ]))
+
+let to_spec t = String.concat "|" (List.map phase_to_string (make t))
+
+(* ---- parsing ---- *)
+
+let usage =
+  "strategy spec is up to 4 phases separated by '|'; each phase is \
+   ';'-separated fields: sched=all|solo:PID|rr:WIDTH|random:PROB|harmonic\
+   |laggard, delay=const:K|max|uniform|bimodal:PROB|stage:K|partition:N\
+   |target:M|churn:CALM:STORM, crash=none|at:TIME:COUNT:STRIDE\
+   |staggered:EVERY|poisson:RATE|flaky:UP:DOWN, fault=drop:PROB\
+   |dup:PROB:COPIES|reorder:PROB (repeatable), for=TICKS (phase \
+   duration; the last phase runs forever). Example: \
+   \"sched=laggard;delay=max;fault=drop:0.5;for=64|sched=all;delay=const:1\""
+
+let err fmt = Printf.ksprintf (fun m -> Error m) fmt
+let ( let* ) = Result.bind
+
+let parse_int s =
+  match int_of_string_opt s with
+  | Some n -> Ok n
+  | None -> err "bad integer %S" s
+
+let parse_float s =
+  match float_of_string_opt s with
+  | Some x -> Ok x
+  | None -> err "bad number %S" s
+
+let parse_sched v =
+  match String.split_on_char ':' v with
+  | [ "all" ] -> Ok S_all
+  | [ "solo"; k ] ->
+    let* k = parse_int k in
+    Ok (S_solo k)
+  | [ "rr"; w ] ->
+    let* w = parse_int w in
+    Ok (S_rr w)
+  | [ "random"; pr ] ->
+    let* pr = parse_float pr in
+    Ok (S_random pr)
+  | [ "harmonic" ] -> Ok S_harmonic
+  | [ "laggard" ] -> Ok S_laggard
+  | _ -> err "bad sched rule %S" v
+
+let parse_delay v =
+  match String.split_on_char ':' v with
+  | [ "const"; k ] ->
+    let* k = parse_int k in
+    Ok (D_const k)
+  | [ "max" ] -> Ok D_max
+  | [ "uniform" ] -> Ok D_uniform
+  | [ "bimodal"; pr ] ->
+    let* pr = parse_float pr in
+    Ok (D_bimodal pr)
+  | [ "stage"; k ] ->
+    let* k = parse_int k in
+    Ok (D_stage k)
+  | [ "partition"; k ] ->
+    let* k = parse_int k in
+    Ok (D_partition k)
+  | [ "target"; m ] ->
+    let* m = parse_int m in
+    Ok (D_target m)
+  | [ "churn"; a; b ] ->
+    let* a = parse_int a in
+    let* b = parse_int b in
+    Ok (D_churn (a, b))
+  | _ -> err "bad delay rule %S" v
+
+let parse_crash v =
+  match String.split_on_char ':' v with
+  | [ "none" ] -> Ok C_none
+  | [ "at"; tm; n; s ] ->
+    let* tm = parse_int tm in
+    let* n = parse_int n in
+    let* s = parse_int s in
+    Ok (C_at (tm, n, s))
+  | [ "staggered"; e ] ->
+    let* e = parse_int e in
+    Ok (C_staggered e)
+  | [ "poisson"; r ] ->
+    let* r = parse_float r in
+    Ok (C_poisson r)
+  | [ "flaky"; u; dn ] ->
+    let* u = parse_int u in
+    let* dn = parse_int dn in
+    Ok (C_flaky (u, dn))
+  | _ -> err "bad crash rule %S" v
+
+let parse_fault v =
+  match String.split_on_char ':' v with
+  | [ "drop"; pr ] ->
+    let* pr = parse_float pr in
+    Ok (F_drop pr)
+  | [ "dup"; pr; n ] ->
+    let* pr = parse_float pr in
+    let* n = parse_int n in
+    Ok (F_dup (pr, n))
+  | [ "reorder"; pr ] ->
+    let* pr = parse_float pr in
+    Ok (F_reorder pr)
+  | _ -> err "bad fault rule %S" v
+
+let parse_phase s =
+  let fields =
+    String.split_on_char ';' s |> List.map String.trim
+    |> List.filter (fun f -> f <> "")
+  in
+  if fields = [] then err "empty phase"
+  else
+    let rec go sched delay crash faults lasts = function
+      | [] ->
+        Ok
+          {
+            sched = Option.value sched ~default:S_all;
+            delay = Option.value delay ~default:(D_const 1);
+            crash = Option.value crash ~default:C_none;
+            faults = List.rev faults;
+            lasts;
+          }
+      | f :: rest -> (
+        match String.index_opt f '=' with
+        | None -> err "field %S is not key=value" f
+        | Some i -> (
+          let key = String.sub f 0 i in
+          let v = String.sub f (i + 1) (String.length f - i - 1) in
+          match key with
+          | "sched" ->
+            if sched <> None then err "duplicate sched field"
+            else
+              let* r = parse_sched v in
+              go (Some r) delay crash faults lasts rest
+          | "delay" ->
+            if delay <> None then err "duplicate delay field"
+            else
+              let* r = parse_delay v in
+              go sched (Some r) crash faults lasts rest
+          | "crash" ->
+            if crash <> None then err "duplicate crash field"
+            else
+              let* r = parse_crash v in
+              go sched delay (Some r) faults lasts rest
+          | "fault" ->
+            let* r = parse_fault v in
+            go sched delay crash (r :: faults) lasts rest
+          | "for" ->
+            if lasts <> None then err "duplicate for field"
+            else
+              let* n = parse_int v in
+              if n < 1 then err "for=%d: duration must be >= 1" n
+              else go sched delay crash faults (Some n) rest
+          | _ -> err "unknown field %S" key))
+    in
+    go None None None [] None fields
+
+let of_spec spec =
+  let phases = String.split_on_char '|' spec |> List.map String.trim in
+  let rec go acc = function
+    | [] -> Ok (make (List.rev acc))
+    | s :: rest ->
+      let* ph = parse_phase s in
+      go (ph :: acc) rest
+  in
+  if phases = [] || List.exists (fun s -> s = "") phases then
+    Error "empty phase in spec"
+  else go [] phases
+
+(* ---- compilation ---- *)
+
+let has_faults t = List.exists (fun ph -> ph.faults <> []) t
+
+let has_restart t =
+  List.exists (fun ph -> match ph.crash with C_flaky _ -> true | _ -> false) t
+
+let latency_of t =
+  let t = make t in
+  if has_faults t then Adversary.Variable
+  else
+    match t with
+    | [ { delay = D_const k; _ } ] -> Adversary.Fixed k
+    | [ { delay = D_max; _ } ] -> Adversary.Maximal
+    | _ -> Adversary.Variable
+
+let compile_sched = function
+  | S_all -> Schedule.all
+  | S_solo pid -> fun (o : Adversary.oracle) -> Schedule.solo (pid mod o.p) o
+  | S_rr w -> Schedule.round_robin ~width:w
+  | S_random pr -> Schedule.random_subset ~prob:pr
+  | S_harmonic -> Schedule.harmonic_speeds
+  | S_laggard -> Schedule.adaptive_laggard
+
+let compile_delay = function
+  | D_const k -> fun (_ : Adversary.oracle) ~src:_ ~dst:_ -> k
+  | D_max -> Delay.maximal
+  | D_uniform -> Delay.uniform
+  | D_bimodal pr -> Delay.bimodal ~slow_fraction:pr
+  | D_stage k -> Delay.stage_batched ~stage_len:k
+  | D_partition k ->
+    fun (o : Adversary.oracle) ~src ~dst ->
+      Delay.partition ~split:(max 1 (o.p / k)) o ~src ~dst
+  | D_target m -> Delay.targeted ~victims:(fun pid -> pid mod m = 0)
+  | D_churn (a, b) -> Delay.churn ~calm:a ~storm:b
+
+let compile_crash ~start = function
+  | C_none -> fun (_ : Adversary.oracle) -> []
+  | C_at (tm, cnt, stride) ->
+    fun (o : Adversary.oracle) ->
+      if o.time () = start + tm then
+        List.filter
+          (fun pid -> pid < o.p)
+          (List.init cnt (fun i -> 1 + (i * stride)))
+      else []
+  | C_staggered every ->
+    (* like Crash.staggered, but sparing the designated survivor pid 0 *)
+    fun (o : Adversary.oracle) ->
+      let now = o.time () in
+      if now > start && (now - start) mod every = 0 then begin
+        let rec lowest pid =
+          if pid >= o.p then []
+          else if o.alive pid then [ pid ]
+          else lowest (pid + 1)
+        in
+        lowest 1
+      end
+      else []
+  | C_poisson rate -> Crash.poisson ~survivor:0 ~rate
+  | C_flaky (up, down) -> fst (Crash.flaky ~survivor:0 ~up ~down ())
+
+let compile_restart = function
+  | C_flaky (up, down) -> Some (snd (Crash.flaky ~survivor:0 ~up ~down ()))
+  | _ -> None
+
+let compile_faults = function
+  | [] -> None
+  | faults ->
+    Some
+      (Fault.all
+         (map_seq
+            (function
+              | F_drop pr -> Fault.drop ~prob:pr
+              | F_dup (pr, n) -> Fault.duplicate ~copies:n ~prob:pr
+              | F_reorder pr -> Fault.reorder ~prob:pr)
+            faults))
+
+let into t =
+  let t = make t in
+  let name = "strategy:" ^ to_spec t in
+  let arr = Array.of_list t in
+  let n = Array.length arr in
+  let starts = Array.make n 0 in
+  for i = 1 to n - 1 do
+    starts.(i) <-
+      starts.(i - 1)
+      + (match arr.(i - 1).lasts with Some k -> k | None -> 0)
+  done;
+  let phase_at now =
+    let i = ref (n - 1) in
+    while !i > 0 && starts.(!i) > now do
+      decr i
+    done;
+    !i
+  in
+  let scheds = Array.map (fun ph -> compile_sched ph.sched) arr in
+  let delays = Array.map (fun ph -> compile_delay ph.delay) arr in
+  let crashes =
+    Array.mapi (fun i ph -> compile_crash ~start:starts.(i) ph.crash) arr
+  in
+  let restarts = Array.map (fun ph -> compile_restart ph.crash) arr in
+  let faults = Array.map (fun ph -> compile_faults ph.faults) arr in
+  let schedule (o : Adversary.oracle) = scheds.(phase_at (o.time ())) o in
+  let delay (o : Adversary.oracle) ~src ~dst =
+    delays.(phase_at (o.time ())) o ~src ~dst
+  in
+  let crash (o : Adversary.oracle) = crashes.(phase_at (o.time ())) o in
+  let adv =
+    Adversary.with_latency (latency_of t)
+      (Adversary.make ~name ~schedule ~delay ~crash)
+  in
+  let adv =
+    if has_faults t then
+      Adversary.with_faults
+        (fun (o : Adversary.oracle) ~src ~dst ->
+          match faults.(phase_at (o.time ())) with
+          | None -> Adversary.Deliver
+          | Some f -> f o ~src ~dst)
+        adv
+    else adv
+  in
+  if has_restart t then
+    Adversary.with_restart
+      (fun (o : Adversary.oracle) ->
+        match restarts.(phase_at (o.time ())) with
+        | None -> []
+        | Some r -> r o)
+      adv
+  else adv
+
+(* ---- genes ---- *)
+
+let genes t =
+  let acc = ref [] in
+  let push x = acc := x :: !acc in
+  let pushi x = push (float_of_int x) in
+  List.iter
+    (fun ph ->
+      (match ph.sched with
+      | S_all | S_harmonic | S_laggard -> ()
+      | S_solo k | S_rr k -> pushi k
+      | S_random pr -> push pr);
+      (match ph.delay with
+      | D_max | D_uniform -> ()
+      | D_const k | D_stage k | D_partition k | D_target k -> pushi k
+      | D_bimodal pr -> push pr
+      | D_churn (a, b) ->
+        pushi a;
+        pushi b);
+      (match ph.crash with
+      | C_none -> ()
+      | C_at (tm, n, s) ->
+        pushi tm;
+        pushi n;
+        pushi s
+      | C_staggered e -> pushi e
+      | C_poisson r -> push r
+      | C_flaky (u, dn) ->
+        pushi u;
+        pushi dn);
+      List.iter
+        (function
+          | F_drop pr | F_reorder pr -> push pr
+          | F_dup (pr, n) ->
+            push pr;
+            pushi n)
+        ph.faults;
+      match ph.lasts with None -> () | Some k -> pushi k)
+    (make t);
+  Array.of_list (List.rev !acc)
+
+let with_genes t g =
+  let i = ref 0 in
+  let next old =
+    if !i < Array.length g then begin
+      let v = g.(!i) in
+      incr i;
+      v
+    end
+    else old
+  in
+  let nexti old = int_of_float (Float.round (next (float_of_int old))) in
+  let map_ph ph =
+    let sched =
+      match ph.sched with
+      | (S_all | S_harmonic | S_laggard) as s -> s
+      | S_solo k -> S_solo (nexti k)
+      | S_rr w -> S_rr (nexti w)
+      | S_random pr -> S_random (next pr)
+    in
+    let delay =
+      match ph.delay with
+      | (D_max | D_uniform) as d -> d
+      | D_const k -> D_const (nexti k)
+      | D_stage k -> D_stage (nexti k)
+      | D_partition k -> D_partition (nexti k)
+      | D_target k -> D_target (nexti k)
+      | D_bimodal pr -> D_bimodal (next pr)
+      | D_churn (a, b) ->
+        let a = nexti a in
+        let b = nexti b in
+        D_churn (a, b)
+    in
+    let crash =
+      match ph.crash with
+      | C_none -> C_none
+      | C_at (tm, n, s) ->
+        let tm = nexti tm in
+        let n = nexti n in
+        let s = nexti s in
+        C_at (tm, n, s)
+      | C_staggered e -> C_staggered (nexti e)
+      | C_poisson r -> C_poisson (next r)
+      | C_flaky (u, dn) ->
+        let u = nexti u in
+        let dn = nexti dn in
+        C_flaky (u, dn)
+    in
+    let faults =
+      map_seq
+        (function
+          | F_drop pr -> F_drop (next pr)
+          | F_reorder pr -> F_reorder (next pr)
+          | F_dup (pr, n) ->
+            let pr = next pr in
+            let n = nexti n in
+            F_dup (pr, n))
+        ph.faults
+    in
+    let lasts = Option.map (fun k -> nexti k) ph.lasts in
+    { sched; delay; crash; faults; lasts }
+  in
+  make (map_seq map_ph (make t))
+
+(* ---- search support ---- *)
+
+let repair ~space ~p t =
+  let t = make t in
+  let delaggard t =
+    (* restarts reset local progress, so completion rests entirely on
+       the never-crashed pid 0 — which solo/laggard scheduling is free
+       to starve forever (the fuzz suite's livelock-exclusion rule) *)
+    if has_restart t then
+      map_seq
+        (fun ph ->
+          match ph.sched with
+          | S_laggard | S_solo _ -> { ph with sched = S_all }
+          | _ -> ph)
+        t
+    else t
+  in
+  match space with
+  | Full -> t
+  | Live -> delaggard t
+  | In_model ->
+    (* the paper's arena: delay + crash/restart adversity only — message
+       faults (loss, duplication, reordering) are beyond the model *)
+    delaggard (map_seq (fun ph -> { ph with faults = [] }) t)
+  | Quorum_safe ->
+    (* keep a majority alive and every pid stepping infinitely often;
+       faults off (lossy networks can stall quorum emulation forever) *)
+    let minority = max 0 ((p - 1) / 2) in
+    mapi_seq
+      (fun i ph ->
+        let sched =
+          match ph.sched with
+          | S_laggard | S_solo _ -> S_all
+          | S_random pr when pr < 0.2 -> S_random 0.2
+          | s -> s
+        in
+        let crash =
+          (* crashes in the first phase only, so phases cannot
+             cumulatively kill a majority *)
+          match ph.crash with
+          | C_at (tm, n, s) when i = 0 -> C_at (tm, min n minority, s)
+          | _ -> C_none
+        in
+        { ph with sched; crash; faults = [] })
+      t
+
+let pick rng l = List.nth l (Rng.int rng (List.length l))
+
+let random_prob rng = norm_prob (Rng.float rng 1.0)
+
+let random_sched rng ~space ~p =
+  match space with
+  | Quorum_safe ->
+    pick rng
+      [
+        S_all;
+        S_rr (1 + Rng.int rng (max 1 p));
+        S_random (norm_prob (0.2 +. Rng.float rng 0.8));
+        S_harmonic;
+      ]
+  | Full | Live | In_model ->
+    pick rng
+      [
+        S_all;
+        S_solo (Rng.int rng (max 1 p));
+        S_rr (1 + Rng.int rng (max 1 p));
+        S_random (random_prob rng);
+        S_harmonic;
+        S_laggard;
+      ]
+
+let random_delay rng ~d ~tsk =
+  pick rng
+    [
+      D_const (1 + Rng.int rng (max 1 (2 * d)));
+      D_max;
+      D_uniform;
+      D_bimodal (random_prob rng);
+      D_stage (1 + Rng.int rng (max 1 d));
+      D_partition (2 + Rng.int rng 7);
+      D_target (2 + Rng.int rng 7);
+      D_churn (1 + Rng.int rng (max 1 (tsk / 2)), 1 + Rng.int rng (max 1 d));
+    ]
+
+let random_crash rng ~space ~p ~tsk =
+  match space with
+  | Quorum_safe ->
+    pick rng
+      [
+        C_none;
+        C_at (Rng.int rng (max 1 tsk), Rng.int rng (max 1 ((p + 1) / 2)), 1);
+      ]
+  | Full | Live | In_model ->
+    pick rng
+      [
+        C_none;
+        C_at
+          ( Rng.int rng (max 1 tsk),
+            Rng.int rng (max 1 p),
+            1 + Rng.int rng 3 );
+        C_staggered (1 + Rng.int rng (max 1 (tsk / 4 + 1)));
+        C_poisson (quant3 (0.005 +. Rng.float rng 0.05));
+        C_flaky
+          (1 + Rng.int rng (max 1 (tsk / 2)), 1 + Rng.int rng (max 1 (tsk / 4)));
+      ]
+
+let random_fault rng =
+  pick rng
+    [
+      F_drop (random_prob rng);
+      F_dup (norm_prob (Rng.float rng 0.5), 1 + Rng.int rng 3);
+      F_reorder (random_prob rng);
+    ]
+
+let random_faults rng ~space =
+  match space with
+  | Quorum_safe | In_model -> []
+  | Full | Live -> (
+    match Rng.int rng 4 with
+    | 0 | 1 -> []
+    | 2 -> [ random_fault rng ]
+    | _ ->
+      let a = random_fault rng in
+      let b = random_fault rng in
+      [ a; b ])
+
+let random_phase rng ~space ~p ~tsk ~d =
+  let sched = random_sched rng ~space ~p in
+  let delay = random_delay rng ~d ~tsk in
+  let crash = random_crash rng ~space ~p ~tsk in
+  let faults = random_faults rng ~space in
+  let lasts = Some (1 + Rng.int rng (max 1 tsk)) in
+  { sched; delay; crash; faults; lasts }
+
+let random ~rng ~space ~p ~t:tsk ~d () =
+  let n = if Rng.int rng 10 < 3 then 2 else 1 in
+  repair ~space ~p (init_seq n (fun _ -> random_phase rng ~space ~p ~tsk ~d))
+
+let nudge_int rng v =
+  match Rng.int rng 4 with
+  | 0 -> v + 1
+  | 1 -> max 1 (v - 1)
+  | 2 -> v * 2
+  | _ -> max 1 (v / 2)
+
+let nudge_prob rng v = norm_prob (v +. Rng.float rng 0.5 -. 0.25)
+
+let nudge_sched rng = function
+  | S_solo k -> S_solo (max 0 (nudge_int rng k))
+  | S_rr w -> S_rr (nudge_int rng w)
+  | S_random pr -> S_random (nudge_prob rng pr)
+  | s -> s
+
+let nudge_delay rng = function
+  | D_const k -> D_const (nudge_int rng k)
+  | D_stage k -> D_stage (nudge_int rng k)
+  | D_partition k -> D_partition (nudge_int rng k)
+  | D_target m -> D_target (nudge_int rng m)
+  | D_bimodal pr -> D_bimodal (nudge_prob rng pr)
+  | D_churn (a, b) ->
+    if Rng.bool rng then
+      let a = nudge_int rng a in
+      D_churn (a, b)
+    else
+      let b = nudge_int rng b in
+      D_churn (a, b)
+  | d -> d
+
+let nudge_crash rng = function
+  | C_at (tm, n, s) -> (
+    match Rng.int rng 3 with
+    | 0 -> C_at (max 0 (nudge_int rng tm), n, s)
+    | 1 -> C_at (tm, max 0 (nudge_int rng n), s)
+    | _ -> C_at (tm, n, nudge_int rng s))
+  | C_staggered e -> C_staggered (nudge_int rng e)
+  | C_poisson r -> C_poisson (norm_prob (r +. Rng.float rng 0.04 -. 0.02))
+  | C_flaky (u, dn) ->
+    if Rng.bool rng then
+      let u = nudge_int rng u in
+      C_flaky (u, dn)
+    else
+      let dn = nudge_int rng dn in
+      C_flaky (u, dn)
+  | C_none -> C_none
+
+let nudge_fault rng = function
+  | F_drop pr -> F_drop (nudge_prob rng pr)
+  | F_reorder pr -> F_reorder (nudge_prob rng pr)
+  | F_dup (pr, n) ->
+    if Rng.bool rng then F_dup (nudge_prob rng pr, n)
+    else F_dup (pr, clamp 1 8 (nudge_int rng n))
+
+let nudge_faults rng ~space = function
+  | [] -> random_faults rng ~space
+  | faults ->
+    let idx = Rng.int rng (List.length faults) in
+    mapi_seq (fun i f -> if i = idx then nudge_fault rng f else f) faults
+
+let mutate ~rng ~space ~p ~t:tsk ~d str =
+  let str = make str in
+  let n = List.length str in
+  let idx = Rng.int rng n in
+  let apply f = mapi_seq (fun i ph -> if i = idx then f ph else ph) str in
+  let str' =
+    match Rng.int rng 10 with
+    | 0 | 1 -> apply (fun ph -> { ph with sched = nudge_sched rng ph.sched })
+    | 2 | 3 -> apply (fun ph -> { ph with delay = nudge_delay rng ph.delay })
+    | 4 -> apply (fun ph -> { ph with crash = nudge_crash rng ph.crash })
+    | 5 ->
+      apply (fun ph -> { ph with faults = nudge_faults rng ~space ph.faults })
+    | 6 -> apply (fun ph -> { ph with sched = random_sched rng ~space ~p })
+    | 7 -> apply (fun ph -> { ph with delay = random_delay rng ~d ~tsk })
+    | 8 ->
+      apply (fun ph -> { ph with crash = random_crash rng ~space ~p ~tsk })
+    | _ -> (
+      (* phase surgery *)
+      match Rng.int rng 3 with
+      | 0 when n > 1 -> List.filteri (fun i _ -> i <> idx) str
+      | 1 when n < max_phases ->
+        List.concat
+          (mapi_seq
+             (fun i ph ->
+               if i = idx then
+                 [ { ph with lasts = Some (1 + Rng.int rng (max 1 tsk)) }; ph ]
+               else [ ph ])
+             str)
+      | _ ->
+        apply (fun ph ->
+            { ph with lasts = Option.map (nudge_int rng) ph.lasts }))
+  in
+  repair ~space ~p str'
+
+let crossover ~rng ~space ~p a b =
+  let aa = Array.of_list (make a) in
+  let ba = Array.of_list (make b) in
+  let n = Array.length (if Rng.bool rng then aa else ba) in
+  let phs =
+    init_seq n (fun i ->
+        let av = if i < Array.length aa then Some aa.(i) else None in
+        let bv = if i < Array.length ba then Some ba.(i) else None in
+        match (av, bv) with
+        | Some x, Some y ->
+          let sched = (if Rng.bool rng then x else y).sched in
+          let delay = (if Rng.bool rng then x else y).delay in
+          let crash = (if Rng.bool rng then x else y).crash in
+          let faults = (if Rng.bool rng then x else y).faults in
+          let lasts = (if Rng.bool rng then x else y).lasts in
+          { sched; delay; crash; faults; lasts }
+        | Some x, None | None, Some x -> x
+        | None, None -> assert false)
+  in
+  repair ~space ~p phs

@@ -1,0 +1,38 @@
+open Doall_sim
+
+let audit (packed : Algorithm.packed) ~p ~t ~d ~adversary ~seed =
+  let module A = (val packed : Algorithm.S) in
+  let module E = Engine.Make (A) in
+  let cfg = Config.make ~seed ~p ~t () in
+  let eng = E.create ~check:true cfg ~d ~adversary in
+  match E.run eng with
+  | exception Oracle.Invariant_violation v ->
+      Error (Format.asprintf "oracle: %a" Oracle.pp_violation v)
+  | m ->
+      let global = E.global_done eng in
+      if not m.Metrics.completed then Error "did not complete"
+      else if not (Bitset.is_full global) then Error "unperformed tasks"
+      else if m.Metrics.executions < t then Error "executions < t"
+      else if m.Metrics.work < m.Metrics.executions then
+        Error "work below executions"
+      else begin
+        let phantom = ref false in
+        for pid = 0 to p - 1 do
+          if not (Bitset.subset (A.done_tasks (E.state eng pid)) global) then
+            phantom := true
+        done;
+        if !phantom then Error "phantom knowledge" else Ok m
+      end
+
+let core_makers =
+  [
+    ("trivial", fun () -> Algo_trivial.make ());
+    ("da-q2", fun () -> Algo_da.make ~q:2 ());
+    ("da-q5", fun () -> Algo_da.make ~q:5 ());
+    ("paran1", fun () -> Algo_pa.make_ran1 ());
+    ("paran2", fun () -> Algo_pa.make_ran2 ());
+    ("padet", fun () -> Algo_pa.make_det ());
+    ("padet-throttled", fun () -> Algo_pa.make_det ~broadcast_every:4 ());
+    ("paran1-fanout2", fun () -> Algo_pa.make_ran1 ~fanout:2 ());
+    ("coord", fun () -> Algo_coord.make ());
+  ]

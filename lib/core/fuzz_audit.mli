@@ -1,0 +1,27 @@
+(** The fuzz suite's whole-run audit, shared between [test/test_fuzz.ml]
+    and [doall fuzz --replay]: run an algorithm under an adversary with
+    the invariant oracle on, then check the end-state global invariants
+    — completion, all tasks performed, accounting identities, and no
+    phantom knowledge (no processor believes a task done that the global
+    ledger does not). *)
+
+open Doall_sim
+
+val audit :
+  Algorithm.packed ->
+  p:int ->
+  t:int ->
+  d:int ->
+  adversary:Adversary.t ->
+  seed:int ->
+  (Metrics.t, string) result
+(** [Error] carries a one-line diagnosis (an oracle violation rendered
+    via {!Oracle.pp_violation}, or which end-state check failed). The
+    engine runs with its default safety time cap, so a livelocked case
+    surfaces as ["did not complete"] rather than hanging. *)
+
+val core_makers : (string * (unit -> Algorithm.packed)) list
+(** Label -> constructor for every core algorithm variant the fuzz suite
+    covers, in {!Doall_adversary.Fuzz_gen.labels} order. Quorum
+    algorithms live outside [doall.core]; callers that cover them (the
+    test suite, the CLI) append those entries themselves. *)

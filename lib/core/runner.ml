@@ -303,13 +303,35 @@ type result = {
   spans : Span.snapshot option;
 }
 
+let strategy_prefix = "strategy:"
+
 let find_adv name =
-  match List.find_opt (fun s -> s.adv_name = name) adversaries with
-  | Some s -> s
-  | None ->
-    failwith
-      (Printf.sprintf "unknown adversary %S (known: %s)" name
-         (known_names (fun s -> s.adv_name) adversaries))
+  if String.starts_with ~prefix:strategy_prefix name then begin
+    (* dynamic adversary: a strategy-DSL spec compiled on instantiation
+       (docs/FAULTS.md). Parsed here so a bad spec fails at lookup like
+       an unknown name; [Strategy.into] is pure, so instantiating per
+       run from worker domains honors the thread-safety contract. *)
+    let plen = String.length strategy_prefix in
+    let spec = String.sub name plen (String.length name - plen) in
+    match Doall_adversary.Strategy.of_spec spec with
+    | Ok strategy ->
+      {
+        adv_name = name;
+        adv_doc = "compiled from a strategy-DSL spec (docs/FAULTS.md)";
+        instantiate =
+          (fun ~p:_ ~t:_ ~d:_ -> Doall_adversary.Strategy.into strategy);
+      }
+    | Error msg ->
+      failwith (Printf.sprintf "bad strategy spec %S: %s" spec msg)
+  end
+  else
+    match List.find_opt (fun s -> s.adv_name = name) adversaries with
+    | Some s -> s
+    | None ->
+      failwith
+        (Printf.sprintf
+           "unknown adversary %S (known: %s; or strategy:<spec>)" name
+           (known_names (fun s -> s.adv_name) adversaries))
 
 let snapshot_of probe =
   match probe with

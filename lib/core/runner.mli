@@ -75,6 +75,12 @@ val find_algo : string -> algo_spec
 (** Raises [Failure] with a message listing known names. *)
 
 val find_adv : string -> adv_spec
+(** Registry lookup, plus one dynamic family: a name of the form
+    ["strategy:<spec>"] compiles the {!Doall_adversary.Strategy} DSL
+    spec into an adversary on the spot — every runner entry point (and
+    through them the CLI's [--adv], the experiment contexts and their
+    memo caches) accepts synthesized strategies transparently. Raises
+    [Failure] on unknown names and unparsable specs. *)
 
 type result = {
   metrics : Metrics.t;

@@ -1,191 +1,64 @@
-(* Adversary fuzzing: compose random scheduling, delay, crash, restart
-   and message-fault policies from a seed and check the system-wide
-   invariants on every algorithm — completion, no phantom knowledge,
-   accounting identities — with the invariant oracle auditing every tick
-   (docs/FAULTS.md). This is the failure-injection counterpart of the
-   hand-written adversary tests. *)
+(* Adversary fuzzing: derive a random strategy-DSL adversary from a seed
+   and check the system-wide invariants on every algorithm — completion,
+   no phantom knowledge, accounting identities — with the invariant
+   oracle auditing every tick (docs/FAULTS.md).
 
-open Doall_sim
+   The seed -> case derivation and the whole-run audit live in the
+   library (Doall_adversary.Fuzz_gen, Doall_core.Fuzz_audit) and are
+   shared with `doall fuzz --replay <seed>`: every failure printed here
+   is a ready-to-run CLI command, not a hint.
+
+   Livelock exclusion is the Strategy space rule: the [Live] space never
+   pairs restarts with starvation-prone schedules (a starved survivor
+   plus state-resetting peers is the adversary's livelock, not the
+   algorithm's), and the quorum arm draws from [Quorum_safe] — majority
+   alive, no faults, every pid stepping infinitely often. *)
+
 open Doall_core
 open Doall_adversary
 
-let build_adversary rng ~p ~quorum_safe =
-  let pickl l = List.nth l (Rng.int rng (List.length l)) in
-  let starvation_free =
-    (* every processor steps infinitely often — what quorum liveness
-       needs on top of crash-minority (adaptive_laggard can starve a
-       chosen processor forever, which is legal in the model and kills
-       the emulation: see test_awq's majority-crash test for the crash
-       flavour of the same caveat) *)
-    [
-      Schedule.all;
-      Schedule.round_robin ~width:(1 + Rng.int rng (max 1 p));
-      Schedule.random_subset ~prob:(0.3 +. Rng.float rng 0.7);
-      Schedule.harmonic_speeds;
-    ]
-  in
-  (* crash-recovery churn resets local progress, so completion rests
-     entirely on the never-crashed survivor — which adaptive_laggard is
-     free to starve forever (each other processor then loses its state
-     before accumulating t tasks: a livelock that is the adversary's
-     fault, not the algorithm's). Restart runs therefore draw from the
-     starvation-free schedules only. *)
-  let use_restart = (not quorum_safe) && Rng.int rng 10 < 3 in
-  let schedule =
-    pickl
-      (if quorum_safe || use_restart then starvation_free
-       else Schedule.adaptive_laggard :: starvation_free)
-  in
-  let delay =
-    pickl
-      [
-        Delay.immediate;
-        Delay.constant (1 + Rng.int rng 8);
-        Delay.maximal;
-        Delay.uniform;
-        Delay.bimodal ~slow_fraction:(Rng.float rng 1.0);
-        Delay.stage_batched ~stage_len:(1 + Rng.int rng 6);
-        Delay.per_destination (fun dst -> 1 + (dst mod 4));
-      ]
-  in
-  let crash, restart =
-    if quorum_safe then
-      (* lose strictly less than half: quorums stay viable *)
-      let victims = List.init (max 0 (((p + 1) / 2) - 1)) (fun i -> i * 2) in
-      ( pickl
-          [
-            Crash.none;
-            Crash.at_time ~time:(Rng.int rng 40) ~pids:victims;
-          ],
-        None )
-    else if use_restart then
-      (* crash-recovery: revive rules are paired only with
-         survivor-preserving crash patterns, so every run keeps one
-         processor that never goes down (the engine's survivor rule
-         is then an invariant, not luck) *)
-      (match Rng.int rng 2 with
-       | 0 ->
-         let crash, revive =
-           Crash.flaky ~survivor:0 ~up:(1 + Rng.int rng 8)
-             ~down:(1 + Rng.int rng 4) ()
-         in
-         (crash, Some revive)
-       | _ ->
-         ( Crash.poisson ~survivor:0 ~rate:(0.005 +. Rng.float rng 0.05),
-           Some (Crash.restart_after ~delay:(1 + Rng.int rng 6)) ))
-    else
-      ( pickl
-          [
-            Crash.none;
-            Crash.at_time ~time:(Rng.int rng 40)
-              ~pids:(List.init (Rng.int rng p) Fun.id);
-            Crash.poisson ~rate:0.01;
-            Crash.staggered ~every:(1 + Rng.int rng 10);
-          ],
-        None )
-  in
-  let faults =
-    (* quorum algorithms honestly need delivery: lossy networks can
-       stall their memory emulation forever, so faults stay off the
-       quorum-safe arm (see Runner.algo_spec.liveness) *)
-    if quorum_safe then None
-    else
-      pickl
-        [
-          None;
-          Some (Fault.drop ~prob:(Rng.float rng 1.0));
-          Some Fault.drop_all;
-          Some
-            (Fault.duplicate ~copies:(1 + Rng.int rng 3)
-               ~prob:(Rng.float rng 0.5));
-          Some (Fault.reorder ~prob:(Rng.float rng 1.0));
-          Some
-            (Fault.all
-               [
-                 Fault.drop ~prob:(Rng.float rng 0.4);
-                 Fault.duplicate ~copies:1 ~prob:(Rng.float rng 0.3);
-                 Fault.reorder ~prob:(Rng.float rng 0.4);
-               ]);
-        ]
-  in
-  Schedule.combine ~name:"fuzz" ~schedule ~delay ~crash ?faults ?restart ()
-
-let audit_run (module A : Algorithm.S) ~p ~t ~d ~adversary ~seed =
-  let module E = Engine.Make (A) in
-  let cfg = Config.make ~seed ~p ~t () in
-  let eng = E.create ~check:true cfg ~d ~adversary in
-  match E.run eng with
-  | exception Oracle.Invariant_violation v ->
-    Error (Format.asprintf "oracle: %a" Oracle.pp_violation v)
-  | m ->
-  let global = E.global_done eng in
-  if not m.Metrics.completed then Error "did not complete"
-  else if not (Bitset.is_full global) then Error "unperformed tasks"
-  else if m.Metrics.executions < t then Error "executions < t"
-  else if m.Metrics.work < m.Metrics.executions then
-    Error "work below executions"
-  else begin
-    let phantom = ref false in
-    for pid = 0 to p - 1 do
-      if not (Bitset.subset (A.done_tasks (E.state eng pid)) global) then
-        phantom := true
-    done;
-    if !phantom then Error "phantom knowledge" else Ok m
-  end
-
-let fuzz_property ~quorum_safe maker (seed : int) =
-  let rng = Rng.create seed in
-  let p = 1 + Rng.int rng 12 in
-  let t = 1 + Rng.int rng 48 in
-  let d = 1 + Rng.int rng 12 in
-  let adversary = build_adversary rng ~p ~quorum_safe in
-  match audit_run (maker ()) ~p ~t ~d ~adversary ~seed with
+let fuzz_property ~label ~quorum_safe maker (seed : int) =
+  let case = Fuzz_gen.case ~seed ~quorum_safe in
+  let { Fuzz_gen.p; t; d; strategy } = case in
+  let adversary = Strategy.into strategy in
+  match Fuzz_audit.audit (maker ()) ~p ~t ~d ~adversary ~seed with
   | Ok _ -> true
   | Error e ->
-    (* the seed alone rebuilds the whole run (dimensions, policies,
-       engine streams): print a copy-pasteable reproducer before the
-       QCheck report *)
-    Printf.eprintf
-      "fuzz reproducer: fuzz_property ~quorum_safe:%b maker %d  (p=%d t=%d \
-       d=%d): %s\n\
-       %!"
-      quorum_safe seed p t d e;
-    QCheck2.Test.fail_reportf "p=%d t=%d d=%d seed=%d: %s" p t d seed e
+    (* ready-to-run reproducers: the library derivation is shared with
+       the CLI, so these rebuild the identical run *)
+    let spec = Strategy.to_spec strategy in
+    Printf.eprintf "fuzz reproducer: doall fuzz --replay %d --algo %s%s\n"
+      seed label
+      (if quorum_safe && label <> "awq-q4" then " --quorum-safe" else "");
+    (match Runner.find_algo label with
+    | exception Failure _ -> ()
+    | _ ->
+      Printf.eprintf
+        "            or: doall run --algo %s --adv 'strategy:%s' -p %d \
+         -t %d -d %d --seed %d --check\n"
+        label spec p t d seed);
+    QCheck2.Test.fail_reportf "p=%d t=%d d=%d seed=%d strategy:%s: %s" p t d
+      seed spec e
 
-let fuzz_test ~name ~quorum_safe maker =
-  QCheck2.Test.make ~name ~count:120 QCheck2.Gen.(int_range 0 1_000_000)
-    (fuzz_property ~quorum_safe maker)
+let fuzz_test ~label ~quorum_safe maker =
+  QCheck2.Test.make
+    ~name:(Printf.sprintf "fuzz: %s" label)
+    ~count:120
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fuzz_property ~label ~quorum_safe maker)
+
+let makers =
+  Fuzz_audit.core_makers
+  @ [ ("awq-q4", fun () -> Doall_quorum.Algo_awq.make ~q:4 ()) ]
 
 let suite =
-  [
-    QCheck_alcotest.to_alcotest
-      (fuzz_test ~name:"fuzz: trivial" ~quorum_safe:false (fun () ->
-           Algo_trivial.make ()));
-    QCheck_alcotest.to_alcotest
-      (fuzz_test ~name:"fuzz: da-q2" ~quorum_safe:false (fun () ->
-           Algo_da.make ~q:2 ()));
-    QCheck_alcotest.to_alcotest
-      (fuzz_test ~name:"fuzz: da-q5" ~quorum_safe:false (fun () ->
-           Algo_da.make ~q:5 ()));
-    QCheck_alcotest.to_alcotest
-      (fuzz_test ~name:"fuzz: paran1" ~quorum_safe:false (fun () ->
-           Algo_pa.make_ran1 ()));
-    QCheck_alcotest.to_alcotest
-      (fuzz_test ~name:"fuzz: paran2" ~quorum_safe:false (fun () ->
-           Algo_pa.make_ran2 ()));
-    QCheck_alcotest.to_alcotest
-      (fuzz_test ~name:"fuzz: padet" ~quorum_safe:false (fun () ->
-           Algo_pa.make_det ()));
-    QCheck_alcotest.to_alcotest
-      (fuzz_test ~name:"fuzz: padet throttled" ~quorum_safe:false (fun () ->
-           Algo_pa.make_det ~broadcast_every:4 ()));
-    QCheck_alcotest.to_alcotest
-      (fuzz_test ~name:"fuzz: paran1 fanout 2" ~quorum_safe:false (fun () ->
-           Algo_pa.make_ran1 ~fanout:2 ()));
-    QCheck_alcotest.to_alcotest
-      (fuzz_test ~name:"fuzz: coord" ~quorum_safe:false (fun () ->
-           Algo_coord.make ()));
-    QCheck_alcotest.to_alcotest
-      (fuzz_test ~name:"fuzz: awq-q4 (quorum-safe crashes)" ~quorum_safe:true
-         (fun () -> Doall_quorum.Algo_awq.make ~q:4 ()));
-  ]
+  List.map
+    (fun label ->
+      let maker =
+        match List.assoc_opt label makers with
+        | Some m -> m
+        | None -> Alcotest.failf "fuzz label %S has no maker" label
+      in
+      QCheck_alcotest.to_alcotest
+        (fuzz_test ~label ~quorum_safe:(label = "awq-q4") maker))
+    Fuzz_gen.labels
