@@ -95,6 +95,24 @@ let max_time_arg =
                its partial metrics and exits nonzero instead of \
                pretending to be data.")
 
+let transport_arg =
+  Arg.(value & opt string "ptp" & info [ "transport" ] ~docv:"T"
+         ~doc:"Network backend: $(b,ptp) (the paper's reliable \
+               point-to-point model, the default), $(b,channel) \
+               (multiple-access shared channel, one transmission slot \
+               per time unit, collisions silent) or $(b,channel-detect) \
+               (collisions detectable; colliders back off \
+               deterministically). See docs/MODEL.md. Channel runs \
+               reject --faults (the shared medium has its own loss \
+               model: collisions).")
+
+let parse_transport s =
+  match Doall_sim.Config.transport_of_string s with
+  | Ok tr -> tr
+  | Error e ->
+    prerr_endline ("doall: --transport: " ^ e);
+    exit 2
+
 (* Returns the policy with its normalized name, which doubles as the
    memo-cache tag for the experiment contexts. *)
 let parse_faults = function
@@ -184,7 +202,7 @@ let strategy_arg =
 let run_cmd =
   let doc = "Run one algorithm against one adversary and print metrics." in
   let run algo adv strategy p t d seed trace obs profile check faults_spec
-      max_time =
+      max_time transport =
     match (pos_int ~what:"p" p, pos_int ~what:"t" t) with
     | `Error e, _ | _, `Error e -> prerr_endline e; exit 2
     | `Ok p, `Ok t ->
@@ -192,11 +210,12 @@ let run_cmd =
         match strategy with None -> adv | Some s -> "strategy:" ^ s
       in
       let faults = Option.map snd (parse_faults faults_spec) in
+      let transport = parse_transport transport in
       (try
          if trace then begin
            let result, tr =
-             Runner.run_traced ~seed ~profile ~check ?faults ?max_time ~algo
-               ~adv ~p ~t ~d ()
+             Runner.run_traced ~seed ~profile ~check ?faults ?max_time
+               ~transport ~algo ~adv ~p ~t ~d ()
            in
            Option.iter print_span_summary result.Runner.spans;
            Format.printf "%a@." Doall_sim.Metrics.pp result.Runner.metrics;
@@ -213,8 +232,8 @@ let run_cmd =
              match obs with None -> None | Some _ -> Some (Probe.create ())
            in
            let result =
-             Runner.run ~seed ?probe ~profile ~check ?faults ?max_time ~algo
-               ~adv ~p ~t ~d ()
+             Runner.run ~seed ?probe ~profile ~check ?faults ?max_time
+               ~transport ~algo ~adv ~p ~t ~d ()
            in
            Format.printf "%a@." Doall_sim.Metrics.pp result.Runner.metrics;
            Option.iter print_span_summary result.Runner.spans;
@@ -246,6 +265,10 @@ let run_cmd =
       | Doall_sim.Oracle.Invariant_violation v ->
         Format.eprintf "doall: %a@." Doall_sim.Oracle.pp_violation v;
         exit 1
+      | Invalid_argument msg ->
+        (* e.g. fault injection requested on the shared channel *)
+        prerr_endline ("doall: " ^ msg);
+        exit 2
       | Failure msg ->
         (* unknown names and unparsable strategy:<spec> arguments *)
         prerr_endline ("doall: " ^ msg);
@@ -254,7 +277,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ algo_arg $ adv_arg $ strategy_arg $ p_arg $ t_arg
           $ d_arg $ seed_arg $ trace_arg $ obs_arg $ profile_arg $ check_arg
-          $ faults_arg $ max_time_arg)
+          $ faults_arg $ max_time_arg $ transport_arg)
 
 let trace_cmd =
   let doc =
@@ -274,15 +297,16 @@ let trace_cmd =
                  arrows and the engine phase profile, loadable in \
                  Perfetto / chrome://tracing.")
   in
-  let run algo adv p t d seed jsonl chrome =
+  let run algo adv p t d seed jsonl chrome transport =
     match (pos_int ~what:"p" p, pos_int ~what:"t" t) with
     | `Error e, _ | _, `Error e -> prerr_endline e; exit 2
     | `Ok p, `Ok t ->
       (* The Chrome artifact carries an engine-profile track, so profile
          exactly when it is requested; the JSONL stream is unaffected. *)
       let profile = chrome <> None in
+      let transport = parse_transport transport in
       let result, tr =
-        Runner.run_traced ~seed ~profile ~algo ~adv ~p ~t ~d ()
+        Runner.run_traced ~seed ~profile ~transport ~algo ~adv ~p ~t ~d ()
       in
       Export.with_out jsonl (fun oc ->
           Export.write_trace oc
@@ -300,7 +324,7 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(const run $ algo_arg $ adv_arg $ p_arg $ t_arg $ d_arg $ seed_arg
-          $ jsonl_arg $ chrome_arg)
+          $ jsonl_arg $ chrome_arg $ transport_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -350,8 +374,10 @@ let delays_arg =
 
 let sweep_cmd =
   let doc = "Sweep the delay bound and tabulate work/messages." in
-  let run algo adv p t delays seed jobs progress check faults_spec =
+  let run algo adv p t delays seed jobs progress check faults_spec transport
+      =
     let faults = parse_faults faults_spec in
+    let transport = parse_transport transport in
     (* An anonymous spec through the same engine as the registered
        experiments: the context supplies the pool, the memo cache (one d
        requested twice simulates once), and the output sinks. *)
@@ -372,7 +398,9 @@ let sweep_cmd =
                          "lower-bound"; "W/LB"; "wall_s" ]
           in
           let specs =
-            List.map (fun d -> Runner.spec ~seed ~algo ~adv ~p ~t ~d ()) delays
+            List.map
+              (fun d -> Runner.spec ~seed ~transport ~algo ~adv ~p ~t ~d ())
+              delays
           in
           let results = Ctx.grid ctx ~check ?faults specs in
           List.iter2
@@ -400,7 +428,8 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(const run $ algo_arg $ adv_arg $ p_arg $ t_arg $ delays_arg
-          $ seed_arg $ jobs_arg $ progress_arg $ check_arg $ faults_arg)
+          $ seed_arg $ jobs_arg $ progress_arg $ check_arg $ faults_arg
+          $ transport_arg)
 
 let compare_cmd =
   let doc = "Run several algorithms on one instance and tabulate them." in
@@ -409,8 +438,9 @@ let compare_cmd =
          & opt (list string) [ "trivial"; "da-q4"; "paran1"; "padet"; "coord" ]
          & info [ "algos" ] ~docv:"A,B,.." ~doc:"Algorithms to compare.")
   in
-  let run algos adv p t d seed jobs progress check faults_spec =
+  let run algos adv p t d seed jobs progress check faults_spec transport =
     let faults = parse_faults faults_spec in
+    let transport = parse_transport transport in
     let e =
       Exp.make ~id:(Printf.sprintf "compare-%s" adv)
         ~doc:"ad-hoc algorithm comparison" ~anchor:"CLI"
@@ -429,7 +459,7 @@ let compare_cmd =
           in
           let specs =
             List.map
-              (fun algo -> Runner.spec ~seed ~algo ~adv ~p ~t ~d ())
+              (fun algo -> Runner.spec ~seed ~transport ~algo ~adv ~p ~t ~d ())
               algos
           in
           let results = Ctx.grid ctx ~check ?faults specs in
@@ -458,7 +488,7 @@ let compare_cmd =
   in
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(const run $ algos_arg $ adv_arg $ p_arg $ t_arg $ d_arg $ seed_arg
-          $ jobs_arg $ progress_arg $ check_arg $ faults_arg)
+          $ jobs_arg $ progress_arg $ check_arg $ faults_arg $ transport_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Search-driven worst-case synthesis: evolve a strategy-DSL spec
@@ -520,7 +550,8 @@ let synth_cmd =
                  (faster; forfeits the search's bug-hunting role).")
   in
   let run algo p t d seed budget population fitness space max_time out
-      wall_cap quick no_check jobs =
+      wall_cap quick no_check jobs transport =
+    let transport = parse_transport transport in
     let fitness =
       match Synth.fitness_of_string fitness with
       | Ok f -> f
@@ -565,9 +596,11 @@ let synth_cmd =
       let outcome =
         try
           Worstcase.search ~seed ~population ~fitness ?space ?max_time
-            ?wall_cap_s:wall_cap ~check:(not no_check) ~on_generation ~jobs
-            ~algo ~p ~t ~d ~budget ()
-        with Failure msg -> prerr_endline ("doall: " ^ msg); exit 2
+            ~transport ?wall_cap_s:wall_cap ~check:(not no_check)
+            ~on_generation ~jobs ~algo ~p ~t ~d ~budget ()
+        with
+        | Failure msg -> prerr_endline ("doall: " ^ msg); exit 2
+        | Invalid_argument msg -> prerr_endline ("doall: " ^ msg); exit 2
       in
       let e = outcome.Synth.best_eval in
       Option.iter
@@ -580,6 +613,8 @@ let synth_cmd =
                 ("t", Int t);
                 ("d", Int d);
                 ("seed", Int seed);
+                ( "transport",
+                  Str (Doall_sim.Config.transport_to_string transport) );
                 ("fitness", Str (Synth.fitness_to_string fitness));
                 ("spec", Str outcome.Synth.best_spec);
                 ("score", Float outcome.Synth.best_score);
@@ -605,8 +640,12 @@ let synth_cmd =
       Printf.printf
         "replay:\n\
         \  doall run --algo %s --strategy '%s' -p %d -t %d -d %d --seed \
-         %d --check\n"
-        algo outcome.Synth.best_spec p t d seed;
+         %d%s --check\n"
+        algo outcome.Synth.best_spec p t d seed
+        (match transport with
+        | Doall_sim.Config.Ptp -> ""
+        | tr ->
+          " --transport " ^ Doall_sim.Config.transport_to_string tr);
       if outcome.Synth.violations <> [] then begin
         Printf.eprintf
           "doall: %d candidate(s) violated the invariant oracle:\n"
@@ -625,7 +664,7 @@ let synth_cmd =
     Term.(const run $ algo_arg $ p_arg $ t_arg $ d_arg $ seed_arg
           $ budget_arg $ population_arg $ fitness_arg $ space_arg
           $ max_time_arg $ out_arg $ wall_cap_arg $ quick_arg $ no_check_arg
-          $ jobs_arg)
+          $ jobs_arg $ transport_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Fuzz-case replay: one integer seed rebuilds the exact failing run the
@@ -667,13 +706,17 @@ let fuzz_cmd =
       (fun label ->
         let quorum_safe = quorum_flag || List.mem label quorum_labels in
         let case = Doall_adversary.Fuzz_gen.case ~seed ~quorum_safe in
-        let { Doall_adversary.Fuzz_gen.p; t; d; strategy } = case in
+        let { Doall_adversary.Fuzz_gen.p; t; d; transport; strategy } =
+          case
+        in
         let spec = Strategy.to_spec strategy in
-        Printf.printf "%-16s p=%-3d t=%-3d d=%-3d strategy:%s\n" label p t d
+        Printf.printf "%-16s p=%-3d t=%-3d d=%-3d transport=%s strategy:%s\n"
+          label p t d
+          (Doall_sim.Config.transport_to_string transport)
           spec;
         let adversary = Strategy.into strategy in
         (match
-           Fuzz_audit.audit
+           Fuzz_audit.audit ~transport
              ((List.assoc label makers) ())
              ~p ~t ~d ~adversary ~seed
          with
@@ -691,8 +734,12 @@ let fuzz_cmd =
         | _ ->
           Printf.printf
             "  rerun: doall run --algo %s --adv 'strategy:%s' -p %d -t %d \
-             -d %d --seed %d --check\n"
-            label spec p t d seed)
+             -d %d --seed %d%s --check\n"
+            label spec p t d seed
+            (match transport with
+            | Doall_sim.Config.Ptp -> ""
+            | tr ->
+              " --transport " ^ Doall_sim.Config.transport_to_string tr))
       labels;
     if !failed then exit 1
   in

@@ -1,15 +1,36 @@
 open Doall_sim
 
-type case = { p : int; t : int; d : int; strategy : Strategy.t }
+type case = {
+  p : int;
+  t : int;
+  d : int;
+  transport : Config.transport;
+  strategy : Strategy.t;
+}
 
 let case ~seed ~quorum_safe =
   let rng = Rng.create seed in
   let p = (if quorum_safe then 3 else 1) + Rng.int rng 12 in
   let t = 1 + Rng.int rng 48 in
   let d = 1 + Rng.int rng 12 in
-  let space = if quorum_safe then Strategy.Quorum_safe else Strategy.Live in
-  let strategy = Strategy.random ~rng ~space ~p ~t ~d () in
-  { p; t; d; strategy }
+  (* roughly a quarter of the non-quorum cases exercise the shared
+     channel; quorum algorithms stay point-to-point because silent
+     collisions can starve a quorum indefinitely. Channel strategies
+     draw from In_model (the engine rejects fault injection on the
+     channel) with the contention-rule dimension open. *)
+  let transport =
+    if (not quorum_safe) && Rng.int rng 4 = 0 then
+      Config.Channel (if Rng.bool rng then Config.Detectable else Config.Silent)
+    else Config.Ptp
+  in
+  let chan = transport <> Config.Ptp in
+  let space =
+    if quorum_safe then Strategy.Quorum_safe
+    else if chan then Strategy.In_model
+    else Strategy.Live
+  in
+  let strategy = Strategy.random ~chan ~rng ~space ~p ~t ~d () in
+  { p; t; d; transport; strategy }
 
 let labels =
   [

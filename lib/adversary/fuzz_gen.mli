@@ -11,13 +11,17 @@ type case = {
   p : int;
   t : int;
   d : int;
+  transport : Doall_sim.Config.transport;
   strategy : Strategy.t;
 }
 
 val case : seed:int -> quorum_safe:bool -> case
 (** Everything about the fuzz run except the algorithm under test (named
     separately by its label). The run itself also uses [seed] as its
-    engine seed. *)
+    engine seed. About a quarter of non-quorum cases land on a shared
+    channel (silent or detectable collisions, strategies drawn from
+    [In_model] with the contention-rule dimension open); [quorum_safe]
+    cases are always point-to-point. *)
 
 val labels : string list
 (** The algorithm labels the fuzz suite covers — the legal values of

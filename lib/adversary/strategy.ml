@@ -27,11 +27,18 @@ type crash =
 
 type fault = F_drop of float | F_dup of float * int | F_reorder of float
 
+type chan =
+  | Ch_none
+  | Ch_ordered of int
+  | Ch_delayed of int
+  | Ch_both of int * int
+
 type phase = {
   sched : sched;
   delay : delay;
   crash : crash;
   faults : fault list;
+  chan : chan;
   lasts : int option;
 }
 
@@ -119,8 +126,15 @@ let norm_fault = function
   | F_dup (pr, n) -> F_dup (norm_prob pr, clamp 1 8 n)
   | F_reorder pr -> F_reorder (norm_prob pr)
 
+let norm_chan = function
+  | Ch_none -> Ch_none
+  | Ch_ordered k -> Ch_ordered (clamp 0 4095 k)
+  | Ch_delayed cap -> Ch_delayed (clamp 1 4096 cap)
+  | Ch_both (cap, k) -> Ch_both (clamp 1 4096 cap, clamp 0 4095 k)
+
 let fair_phase =
-  { sched = S_all; delay = D_const 1; crash = C_none; faults = []; lasts = None }
+  { sched = S_all; delay = D_const 1; crash = C_none; faults = [];
+    chan = Ch_none; lasts = None }
 
 let norm_phase ~last ph =
   {
@@ -128,6 +142,7 @@ let norm_phase ~last ph =
     delay = norm_delay ph.delay;
     crash = norm_crash ph.crash;
     faults = map_seq norm_fault (take max_faults ph.faults);
+    chan = norm_chan ph.chan;
     lasts =
       (if last then None
        else
@@ -145,8 +160,8 @@ let make phases =
     mapi_seq (fun i ph -> norm_phase ~last:(i = n - 1) ph) phases
 
 let phase ?(sched = S_all) ?(delay = D_const 1) ?(crash = C_none)
-    ?(faults = []) ?lasts () =
-  { sched; delay; crash; faults; lasts }
+    ?(faults = []) ?(chan = Ch_none) ?lasts () =
+  { sched; delay; crash; faults; chan; lasts }
 
 (* ---- printing ---- *)
 
@@ -182,6 +197,12 @@ let fault_to_string = function
   | F_dup (pr, n) -> Printf.sprintf "dup:%s:%d" (fg pr) n
   | F_reorder pr -> "reorder:" ^ fg pr
 
+let chan_to_string = function
+  | Ch_none -> "none"
+  | Ch_ordered k -> Printf.sprintf "ordered:%d" k
+  | Ch_delayed cap -> Printf.sprintf "delayed:%d" cap
+  | Ch_both (cap, k) -> Printf.sprintf "both:%d:%d" cap k
+
 let phase_to_string ph =
   String.concat ";"
     (("sched=" ^ sched_to_string ph.sched)
@@ -190,6 +211,9 @@ let phase_to_string ph =
          | C_none -> []
          | c -> [ "crash=" ^ crash_to_string c ])
         @ map_seq (fun f -> "fault=" ^ fault_to_string f) ph.faults
+        @ (match ph.chan with
+          | Ch_none -> []
+          | c -> [ "chan=" ^ chan_to_string c ])
         @ match ph.lasts with
           | None -> []
           | Some n -> [ Printf.sprintf "for=%d" n ]))
@@ -204,8 +228,10 @@ let usage =
    |laggard, delay=const:K|max|uniform|bimodal:PROB|stage:K|partition:N\
    |target:M|churn:CALM:STORM, crash=none|at:TIME:COUNT:STRIDE\
    |staggered:EVERY|poisson:RATE|flaky:UP:DOWN, fault=drop:PROB\
-   |dup:PROB:COPIES|reorder:PROB (repeatable), for=TICKS (phase \
-   duration; the last phase runs forever). Example: \
+   |dup:PROB:COPIES|reorder:PROB (repeatable), \
+   chan=ordered:K|delayed:CAP|both:CAP:K (shared-channel contention \
+   rules; inert on point-to-point runs), for=TICKS (phase duration; the \
+   last phase runs forever). Example: \
    \"sched=laggard;delay=max;fault=drop:0.5;for=64|sched=all;delay=const:1\""
 
 let err fmt = Printf.ksprintf (fun m -> Error m) fmt
@@ -296,6 +322,21 @@ let parse_fault v =
     Ok (F_reorder pr)
   | _ -> err "bad fault rule %S" v
 
+let parse_chan v =
+  match String.split_on_char ':' v with
+  | [ "none" ] -> Ok Ch_none
+  | [ "ordered"; k ] ->
+    let* k = parse_int k in
+    Ok (Ch_ordered k)
+  | [ "delayed"; cap ] ->
+    let* cap = parse_int cap in
+    Ok (Ch_delayed cap)
+  | [ "both"; cap; k ] ->
+    let* cap = parse_int cap in
+    let* k = parse_int k in
+    Ok (Ch_both (cap, k))
+  | _ -> err "bad chan rule %S" v
+
 let parse_phase s =
   let fields =
     String.split_on_char ';' s |> List.map String.trim
@@ -303,7 +344,7 @@ let parse_phase s =
   in
   if fields = [] then err "empty phase"
   else
-    let rec go sched delay crash faults lasts = function
+    let rec go sched delay crash faults chan lasts = function
       | [] ->
         Ok
           {
@@ -311,6 +352,7 @@ let parse_phase s =
             delay = Option.value delay ~default:(D_const 1);
             crash = Option.value crash ~default:C_none;
             faults = List.rev faults;
+            chan = Option.value chan ~default:Ch_none;
             lasts;
           }
       | f :: rest -> (
@@ -324,29 +366,34 @@ let parse_phase s =
             if sched <> None then err "duplicate sched field"
             else
               let* r = parse_sched v in
-              go (Some r) delay crash faults lasts rest
+              go (Some r) delay crash faults chan lasts rest
           | "delay" ->
             if delay <> None then err "duplicate delay field"
             else
               let* r = parse_delay v in
-              go sched (Some r) crash faults lasts rest
+              go sched (Some r) crash faults chan lasts rest
           | "crash" ->
             if crash <> None then err "duplicate crash field"
             else
               let* r = parse_crash v in
-              go sched delay (Some r) faults lasts rest
+              go sched delay (Some r) faults chan lasts rest
           | "fault" ->
             let* r = parse_fault v in
-            go sched delay crash (r :: faults) lasts rest
+            go sched delay crash (r :: faults) chan lasts rest
+          | "chan" ->
+            if chan <> None then err "duplicate chan field"
+            else
+              let* r = parse_chan v in
+              go sched delay crash faults (Some r) lasts rest
           | "for" ->
             if lasts <> None then err "duplicate for field"
             else
               let* n = parse_int v in
               if n < 1 then err "for=%d: duration must be >= 1" n
-              else go sched delay crash faults (Some n) rest
+              else go sched delay crash faults chan (Some n) rest
           | _ -> err "unknown field %S" key))
     in
-    go None None None [] None fields
+    go None None None [] None None fields
 
 let of_spec spec =
   let phases = String.split_on_char '|' spec |> List.map String.trim in
@@ -366,6 +413,8 @@ let has_faults t = List.exists (fun ph -> ph.faults <> []) t
 
 let has_restart t =
   List.exists (fun ph -> match ph.crash with C_flaky _ -> true | _ -> false) t
+
+let has_chan t = List.exists (fun ph -> ph.chan <> Ch_none) t
 
 let latency_of t =
   let t = make t in
@@ -425,6 +474,23 @@ let compile_restart = function
   | C_flaky (up, down) -> Some (snd (Crash.flaky ~survivor:0 ~up ~down ()))
   | _ -> None
 
+(* [K] indexes the ordering-rule family so one integer gene spans the
+   whole spectrum: 0 lowest-first, 1 highest-first, 2 defer-the-informed,
+   and any larger K a rotating grant with offset K. *)
+let compile_chan_order k =
+  match k mod 4 with
+  | 0 -> Chan.ordered_low
+  | 1 -> Chan.ordered_high
+  | 2 -> Chan.most_informed_last
+  | _ -> Chan.rotor k
+
+let compile_chan = function
+  | Ch_none -> (None, None)
+  | Ch_ordered k -> (Some (compile_chan_order k), None)
+  | Ch_delayed cap -> (None, Some (Chan.batched ~cap))
+  | Ch_both (cap, k) ->
+    (Some (compile_chan_order k), Some (Chan.batched ~cap))
+
 let compile_faults = function
   | [] -> None
   | faults ->
@@ -481,13 +547,38 @@ let into t =
         adv
     else adv
   in
-  if has_restart t then
-    Adversary.with_restart
-      (fun (o : Adversary.oracle) ->
-        match restarts.(phase_at (o.time ())) with
-        | None -> []
-        | Some r -> r o)
+  let adv =
+    if has_restart t then
+      Adversary.with_restart
+        (fun (o : Adversary.oracle) ->
+          match restarts.(phase_at (o.time ())) with
+          | None -> []
+          | Some r -> r o)
+        adv
+    else adv
+  in
+  if has_chan t then begin
+    let chans = Array.map (fun ph -> compile_chan ph.chan) arr in
+    (* a phase without an ordering rule declines arbitration (collide);
+       one without a hold rule releases in the submission slot *)
+    Adversary.with_channel
+      {
+        Adversary.chan_name = "strategy";
+        order =
+          Some
+            (fun (o : Adversary.oracle) contenders ->
+              match fst chans.(phase_at (o.time ())) with
+              | Some f -> f o contenders
+              | None -> None);
+        hold =
+          Some
+            (fun (o : Adversary.oracle) ~src ->
+              match snd chans.(phase_at (o.time ())) with
+              | Some h -> h o ~src
+              | None -> 0);
+      }
       adv
+  end
   else adv
 
 (* ---- genes ---- *)
@@ -527,6 +618,13 @@ let genes t =
             push pr;
             pushi n)
         ph.faults;
+      (match ph.chan with
+      | Ch_none -> ()
+      | Ch_ordered k -> pushi k
+      | Ch_delayed cap -> pushi cap
+      | Ch_both (cap, k) ->
+        pushi cap;
+        pushi k);
       match ph.lasts with None -> () | Some k -> pushi k)
     (make t);
   Array.of_list (List.rev !acc)
@@ -589,8 +687,18 @@ let with_genes t g =
             F_dup (pr, n))
         ph.faults
     in
+    let chan =
+      match ph.chan with
+      | Ch_none -> Ch_none
+      | Ch_ordered k -> Ch_ordered (nexti k)
+      | Ch_delayed cap -> Ch_delayed (nexti cap)
+      | Ch_both (cap, k) ->
+        let cap = nexti cap in
+        let k = nexti k in
+        Ch_both (cap, k)
+    in
     let lasts = Option.map (fun k -> nexti k) ph.lasts in
-    { sched; delay; crash; faults; lasts }
+    { sched; delay; crash; faults; chan; lasts }
   in
   make (map_seq map_ph (make t))
 
@@ -637,7 +745,9 @@ let repair ~space ~p t =
           | C_at (tm, n, s) when i = 0 -> C_at (tm, min n minority, s)
           | _ -> C_none
         in
-        { ph with sched; crash; faults = [] })
+        (* contention rules stay off: on a silent channel they can
+           starve quorum-dependent algorithms forever *)
+        { ph with sched; crash; faults = []; chan = Ch_none })
       t
 
 let pick rng l = List.nth l (Rng.int rng (List.length l))
@@ -720,17 +830,32 @@ let random_faults rng ~space =
       let b = random_fault rng in
       [ a; b ])
 
-let random_phase rng ~space ~p ~tsk ~d =
+let random_chan rng ~space ~d =
+  match space with
+  | Quorum_safe -> Ch_none
+  | Full | Live | In_model -> (
+    match Rng.int rng 4 with
+    | 0 -> Ch_none
+    | 1 -> Ch_ordered (Rng.int rng 8)
+    | 2 -> Ch_delayed (1 + Rng.int rng (max 1 d))
+    | _ -> Ch_both (1 + Rng.int rng (max 1 d), Rng.int rng 8))
+
+let random_phase rng ~space ~chan ~p ~tsk ~d =
   let sched = random_sched rng ~space ~p in
   let delay = random_delay rng ~d ~tsk in
   let crash = random_crash rng ~space ~p ~tsk in
   let faults = random_faults rng ~space in
+  (* only drawn when the caller targets a shared-channel run: keeping
+     the default path free of extra draws preserves the RNG sequence of
+     every existing point-to-point search *)
+  let chan = if chan then random_chan rng ~space ~d else Ch_none in
   let lasts = Some (1 + Rng.int rng (max 1 tsk)) in
-  { sched; delay; crash; faults; lasts }
+  { sched; delay; crash; faults; chan; lasts }
 
-let random ~rng ~space ~p ~t:tsk ~d () =
+let random ?(chan = false) ~rng ~space ~p ~t:tsk ~d () =
   let n = if Rng.int rng 10 < 3 then 2 else 1 in
-  repair ~space ~p (init_seq n (fun _ -> random_phase rng ~space ~p ~tsk ~d))
+  repair ~space ~p
+    (init_seq n (fun _ -> random_phase rng ~space ~chan ~p ~tsk ~d))
 
 let nudge_int rng v =
   match Rng.int rng 4 with
@@ -792,13 +917,16 @@ let nudge_faults rng ~space = function
     let idx = Rng.int rng (List.length faults) in
     mapi_seq (fun i f -> if i = idx then nudge_fault rng f else f) faults
 
-let mutate ~rng ~space ~p ~t:tsk ~d str =
+let mutate ?(chan = false) ~rng ~space ~p ~t:tsk ~d str =
   let str = make str in
   let n = List.length str in
   let idx = Rng.int rng n in
   let apply f = mapi_seq (fun i ph -> if i = idx then f ph else ph) str in
   let str' =
-    match Rng.int rng 10 with
+    (* the chan arm only exists when the caller targets a channel run,
+       so point-to-point searches keep their exact draw sequence *)
+    match Rng.int rng (if chan then 11 else 10) with
+    | 10 -> apply (fun ph -> { ph with chan = random_chan rng ~space ~d })
     | 0 | 1 -> apply (fun ph -> { ph with sched = nudge_sched rng ph.sched })
     | 2 | 3 -> apply (fun ph -> { ph with delay = nudge_delay rng ph.delay })
     | 4 -> apply (fun ph -> { ph with crash = nudge_crash rng ph.crash })
@@ -840,8 +968,14 @@ let crossover ~rng ~space ~p a b =
           let delay = (if Rng.bool rng then x else y).delay in
           let crash = (if Rng.bool rng then x else y).crash in
           let faults = (if Rng.bool rng then x else y).faults in
+          let chan =
+            (* no extra draw unless a parent carries a chan rule:
+               point-to-point crossovers keep their RNG sequence *)
+            if x.chan = Ch_none && y.chan = Ch_none then Ch_none
+            else (if Rng.bool rng then x else y).chan
+          in
           let lasts = (if Rng.bool rng then x else y).lasts in
-          { sched; delay; crash; faults; lasts }
+          { sched; delay; crash; faults; chan; lasts }
         | Some x, None | None, Some x -> x
         | None, None -> assert false)
   in

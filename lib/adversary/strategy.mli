@@ -64,11 +64,26 @@ type fault =
   | F_dup of float * int  (** prob, extra copies *)
   | F_reorder of float
 
+(** Shared-channel contention rules (see {!Chan}); inert on
+    point-to-point runs, so a strategy with a chan rule is still a valid
+    adversary everywhere. [Ch_ordered k] picks an ordering-rule family
+    member by [k] (0 lowest-first, 1 highest-first, 2
+    defer-the-informed, else a rotating grant with offset [k]);
+    [Ch_delayed cap] batches transmission releases to multiples of
+    [cap] slots (engine-clamped to the delay bound); [Ch_both] combines
+    the two. *)
+type chan =
+  | Ch_none
+  | Ch_ordered of int
+  | Ch_delayed of int
+  | Ch_both of int * int  (** cap, ordering k *)
+
 type phase = {
   sched : sched;
   delay : delay;
   crash : crash;
   faults : fault list;  (** chained first-decision-wins, as {!Fault.all} *)
+  chan : chan;  (** shared-channel contention rule for this phase *)
   lasts : int option;
       (** phase duration in ticks; [None] = runs forever (final phase) *)
 }
@@ -102,11 +117,12 @@ val phase :
   ?delay:delay ->
   ?crash:crash ->
   ?faults:fault list ->
+  ?chan:chan ->
   ?lasts:int ->
   unit ->
   phase
 (** Phase builder; defaults are fair: everyone steps, latency 1, no
-    crashes, no faults. *)
+    crashes, no faults, no contention rules. *)
 
 val make : phase list -> t
 (** Normalize (see {!t}). [make [] ] yields the fair single phase. *)
@@ -126,6 +142,9 @@ val of_spec : string -> (t, string) result
 val has_faults : t -> bool
 val has_restart : t -> bool
 
+val has_chan : t -> bool
+(** Any phase carries a shared-channel contention rule. *)
+
 val latency_of : t -> Adversary.latency
 (** The declaration {!into} makes: [Variable] if any fault rule is
     present or the strategy has several phases; [Fixed k] / [Maximal]
@@ -143,13 +162,20 @@ val repair : space:space -> p:int -> t -> t
     replacing offending rules; applied by {!random}, {!mutate} and
     {!crossover} to their results. *)
 
-val random : rng:Rng.t -> space:space -> p:int -> t:int -> d:int -> unit -> t
+val random :
+  ?chan:bool -> rng:Rng.t -> space:space -> p:int -> t:int -> d:int -> unit ->
+  t
 (** A random strategy scaled to the instance (durations ~ [t], delays ~
-    [d], window widths ~ [p]). *)
+    [d], window widths ~ [p]). [~chan:true] additionally draws
+    shared-channel contention rules (for searches targeting a channel
+    transport); the default [false] draws none and keeps the RNG
+    sequence of point-to-point searches unchanged. *)
 
-val mutate : rng:Rng.t -> space:space -> p:int -> t:int -> d:int -> t -> t
+val mutate :
+  ?chan:bool -> rng:Rng.t -> space:space -> p:int -> t:int -> d:int -> t -> t
 (** One mutation step: mostly numeric-gene nudges, sometimes structural
-    (replace a rule, add/drop a fault, split/drop a phase). *)
+    (replace a rule, add/drop a fault, split/drop a phase).
+    [~chan:true] adds a replace-the-chan-rule move, as in {!random}. *)
 
 val crossover : rng:Rng.t -> space:space -> p:int -> t -> t -> t
 (** Field-wise uniform crossover of two parents, phase by phase. *)

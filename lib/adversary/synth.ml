@@ -86,8 +86,8 @@ let dedup_by_spec cands =
   go cands
 
 let search ?(seed = 0) ?(population = 12) ?(elite = 2)
-    ?(space = Strategy.Live) ?(init = []) ?(fitness = Work) ?wall_cap_s
-    ?on_generation ?pool ?jobs ~eval ~p ~t:tsk ~d ~budget () =
+    ?(space = Strategy.Live) ?(init = []) ?(fitness = Work) ?(chan = false)
+    ?wall_cap_s ?on_generation ?pool ?jobs ~eval ~p ~t:tsk ~d ~budget () =
   if budget < 1 then invalid_arg "Synth.search: budget must be >= 1";
   let population = max 2 population in
   let elite = max 1 (min elite (population - 1)) in
@@ -166,7 +166,7 @@ let search ?(seed = 0) ?(population = 12) ?(elite = 2)
     if List.length (dedup_by_spec acc) >= population || attempts <= 0 then acc
     else
       fill
-        (acc @ [ norm (Strategy.random ~rng ~space ~p ~t:tsk ~d ()) ])
+        (acc @ [ norm (Strategy.random ~chan ~rng ~space ~p ~t:tsk ~d ()) ])
         (attempts - 1)
   in
   let pop = ref (take population (dedup_by_spec (fill seeds (4 * population)))) in
@@ -204,7 +204,7 @@ let search ?(seed = 0) ?(population = 12) ?(elite = 2)
           let b = pick_parent () in
           Strategy.crossover ~rng ~space ~p a b
         end
-        else Strategy.mutate ~rng ~space ~p ~t:tsk ~d (pick_parent ())
+        else Strategy.mutate ~chan ~rng ~space ~p ~t:tsk ~d (pick_parent ())
       in
       children := norm child :: !children
     done;
@@ -214,8 +214,8 @@ let search ?(seed = 0) ?(population = 12) ?(elite = 2)
       match !best with
       | None -> []
       | Some (_, _, bst, _) ->
-        let m1 = norm (Strategy.mutate ~rng ~space ~p ~t:tsk ~d bst) in
-        let m2 = norm (Strategy.mutate ~rng ~space ~p ~t:tsk ~d bst) in
+        let m1 = norm (Strategy.mutate ~chan ~rng ~space ~p ~t:tsk ~d bst) in
+        let m2 = norm (Strategy.mutate ~chan ~rng ~space ~p ~t:tsk ~d bst) in
         [ m1; m2 ]
     in
     let evaluated = evaluate (children @ hill) in

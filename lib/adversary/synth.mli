@@ -73,6 +73,7 @@ val search :
   ?space:Strategy.space ->
   ?init:Strategy.t list ->
   ?fitness:fitness ->
+  ?chan:bool ->
   ?wall_cap_s:float ->
   ?on_generation:(progress -> unit) ->
   ?pool:Doall_sim.Pool.t ->
@@ -89,7 +90,12 @@ val search :
     even [budget < population] measures them); the rest is filled with
     {!Strategy.random} draws from [?space] (default [Live]). [?pool]
     reuses a caller-owned pool, else a transient one of [?jobs] domains
-    is created. [?wall_cap_s] stops launching new generations once the
+    is created. [?chan] (default false) is forwarded to
+    {!Strategy.random} and {!Strategy.mutate}, letting the search draw
+    shared-channel contention rules — set it when the evaluator runs
+    candidates on a channel transport; leaving it off keeps every
+    point-to-point search's RNG sequence (and thus its outcome)
+    unchanged. [?wall_cap_s] stops launching new generations once the
     wall clock has run for that long (nondeterministic by nature —
     meant for CI smokes). [?on_generation] observes each generation's
     {!progress} as it completes. Raises [Invalid_argument] if

@@ -1,9 +1,10 @@
 open Doall_sim
 
-let audit (packed : Algorithm.packed) ~p ~t ~d ~adversary ~seed =
+let audit ?(transport = Config.Ptp) (packed : Algorithm.packed) ~p ~t ~d
+    ~adversary ~seed =
   let module A = (val packed : Algorithm.S) in
   let module E = Engine.Make (A) in
-  let cfg = Config.make ~seed ~p ~t () in
+  let cfg = Config.make ~seed ~transport ~p ~t () in
   let eng = E.create ~check:true cfg ~d ~adversary in
   match E.run eng with
   | exception Oracle.Invariant_violation v ->

@@ -8,6 +8,7 @@
 open Doall_sim
 
 val audit :
+  ?transport:Config.transport ->
   Algorithm.packed ->
   p:int ->
   t:int ->
@@ -18,7 +19,9 @@ val audit :
 (** [Error] carries a one-line diagnosis (an oracle violation rendered
     via {!Oracle.pp_violation}, or which end-state check failed). The
     engine runs with its default safety time cap, so a livelocked case
-    surfaces as ["did not complete"] rather than hanging. *)
+    surfaces as ["did not complete"] rather than hanging. [?transport]
+    (default point-to-point) selects the network backend, matching the
+    case's {!Doall_adversary.Fuzz_gen.case} draw. *)
 
 val core_makers : (string * (unit -> Algorithm.packed)) list
 (** Label -> constructor for every core algorithm variant the fuzz suite

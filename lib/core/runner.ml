@@ -260,6 +260,59 @@ let adversaries =
                  ])
             ());
     };
+    (* -- shared-channel contention adversaries (docs/MODEL.md): the
+       ordered and delayed classes over a multiple-access channel. Fair
+       stepping and latency 1, so on a point-to-point run they all
+       degenerate to [fair] (contention policies are inert there). -- *)
+    {
+      adv_name = "chan-ordered";
+      adv_doc = "shared channel: serialize contenders lowest pid first";
+      instantiate =
+        (fun ~p:_ ~t:_ ~d:_ ->
+          Chan.into ~name:"chan-ordered"
+            (Chan.policy ~name:"ordered-low" ~order:Chan.ordered_low ()));
+    };
+    {
+      adv_name = "chan-ordered-high";
+      adv_doc = "shared channel: serialize contenders highest pid first";
+      instantiate =
+        (fun ~p:_ ~t:_ ~d:_ ->
+          Chan.into ~name:"chan-ordered-high"
+            (Chan.policy ~name:"ordered-high" ~order:Chan.ordered_high ()));
+    };
+    {
+      adv_name = "chan-rotor";
+      adv_doc = "shared channel: rotating grant across contenders";
+      instantiate =
+        (fun ~p:_ ~t:_ ~d:_ ->
+          Chan.into ~name:"chan-rotor"
+            (Chan.policy ~name:"rotor" ~order:(Chan.rotor 1) ()));
+    };
+    {
+      adv_name = "chan-delayed";
+      adv_doc =
+        "shared channel: releases batched every min(d, 4) slots, so \
+         submissions pile up and collide";
+      instantiate =
+        (fun ~p:_ ~t:_ ~d ->
+          Chan.into ~name:"chan-delayed"
+            (Chan.policy ~name:"delayed"
+               ~hold:(Chan.batched ~cap:(max 2 (min d 4)))
+               ()));
+    };
+    {
+      adv_name = "chan-delayed-ordered";
+      adv_doc =
+        "shared channel: batched releases, then informed contenders \
+         deferred behind redundant ones";
+      instantiate =
+        (fun ~p:_ ~t:_ ~d ->
+          Chan.into ~name:"chan-delayed-ordered"
+            (Chan.policy ~name:"delayed-ordered"
+               ~order:Chan.most_informed_last
+               ~hold:(Chan.batched ~cap:(max 2 (min d 4)))
+               ()));
+    };
   ]
 
 let known_names to_name specs =
@@ -355,18 +408,28 @@ type run_spec = {
   t : int;
   d : int;
   seed : int;
+  transport : Config.transport;
 }
 
-let spec ?(seed = 0) ~algo ~adv ~p ~t ~d () =
-  { spec_algo = algo; spec_adv = adv; p; t; d; seed }
+let spec ?(seed = 0) ?(transport = Config.Ptp) ~algo ~adv ~p ~t ~d () =
+  { spec_algo = algo; spec_adv = adv; p; t; d; seed; transport }
+
+(* point-to-point names carry no transport suffix, keeping every
+   pre-transport golden pin (and the exp memo keys derived from specs)
+   byte-identical *)
+let transport_suffix = function
+  | Config.Ptp -> ""
+  | tr -> "@" ^ Config.transport_to_string tr
 
 let spec_name s =
-  Printf.sprintf "%s/%s/p%d/t%d/d%d/seed%d" s.spec_algo s.spec_adv s.p s.t
+  Printf.sprintf "%s/%s/p%d/t%d/d%d/seed%d%s" s.spec_algo s.spec_adv s.p s.t
     s.d s.seed
+    (transport_suffix s.transport)
 
 let pp_spec ppf s =
-  Format.fprintf ppf "%s/%s/p=%d/t=%d/d=%d/seed=%d" s.spec_algo s.spec_adv
+  Format.fprintf ppf "%s/%s/p=%d/t=%d/d=%d/seed=%d%s" s.spec_algo s.spec_adv
     s.p s.t s.d s.seed
+    (transport_suffix s.transport)
 
 exception Run_timeout of { spec : run_spec; metrics : Metrics.t }
 
@@ -398,11 +461,11 @@ let sim_count () = Atomic.get sims
 (* Like [run] but reports a capped run through [metrics.completed]
    instead of raising, so [run_grid] can aggregate timeouts. *)
 let run_unchecked ?(seed = 0) ?max_time ?probe ?(profile = false) ?check
-    ?faults ~algo ~adv ~p ~t ~d () =
+    ?faults ?(transport = Config.Ptp) ~algo ~adv ~p ~t ~d () =
   Atomic.incr sims;
   let aspec = find_algo algo in
   let vspec = find_adv adv in
-  let cfg = Config.make ~seed ~p ~t () in
+  let cfg = Config.make ~seed ~transport ~p ~t () in
   let adversary = overlay ?faults (vspec.instantiate ~p ~t ~d) in
   let sp = make_spans profile in
   let t0 = Unix.gettimeofday () in
@@ -417,27 +480,27 @@ let run_unchecked ?(seed = 0) ?max_time ?probe ?(profile = false) ?check
     spans = spans_of sp;
   }
 
-let run ?seed ?max_time ?probe ?profile ?check ?faults ~algo ~adv ~p ~t ~d ()
-    =
+let run ?seed ?max_time ?probe ?profile ?check ?faults ?transport ~algo ~adv
+    ~p ~t ~d () =
   let r =
-    run_unchecked ?seed ?max_time ?probe ?profile ?check ?faults ~algo ~adv
-      ~p ~t ~d ()
+    run_unchecked ?seed ?max_time ?probe ?profile ?check ?faults ?transport
+      ~algo ~adv ~p ~t ~d ()
   in
   if not r.metrics.Metrics.completed then
     raise
       (Run_timeout
          {
-           spec = spec ~seed:r.seed ~algo ~adv ~p ~t ~d ();
+           spec = spec ~seed:r.seed ?transport ~algo ~adv ~p ~t ~d ();
            metrics = r.metrics;
          });
   r
 
 let run_traced ?(seed = 0) ?max_time ?probe ?(profile = false) ?check ?faults
-    ~algo ~adv ~p ~t ~d () =
+    ?(transport = Config.Ptp) ~algo ~adv ~p ~t ~d () =
   Atomic.incr sims;
   let aspec = find_algo algo in
   let vspec = find_adv adv in
-  let cfg = Config.make ~seed ~record_trace:true ~p ~t () in
+  let cfg = Config.make ~seed ~record_trace:true ~transport ~p ~t () in
   let adversary = overlay ?faults (vspec.instantiate ~p ~t ~d) in
   let sp = make_spans profile in
   let t0 = Unix.gettimeofday () in
@@ -477,21 +540,24 @@ let () =
       Some (Format.asprintf "%a" pp_grid_incomplete specs)
     | _ -> None)
 
-let grid ?(seeds = [ 0 ]) ~algos ~advs ~points () =
+let grid ?(seeds = [ 0 ]) ?transport ~algos ~advs ~points () =
   List.concat_map
     (fun algo ->
       List.concat_map
         (fun adv ->
           List.concat_map
             (fun (p, t, d) ->
-              List.map (fun seed -> spec ~seed ~algo ~adv ~p ~t ~d ()) seeds)
+              List.map
+                (fun seed -> spec ~seed ?transport ~algo ~adv ~p ~t ~d ())
+                seeds)
             points)
         advs)
     algos
 
 let run_spec ?max_time ?probe ?profile ?check ?faults s =
   run_unchecked ~seed:s.seed ?max_time ?probe ?profile ?check ?faults
-    ~algo:s.spec_algo ~adv:s.spec_adv ~p:s.p ~t:s.t ~d:s.d ()
+    ~transport:s.transport ~algo:s.spec_algo ~adv:s.spec_adv ~p:s.p ~t:s.t
+    ~d:s.d ()
 
 let run_grid ?jobs ?pool ?max_time ?(probes = false) ?(profile = false)
     ?check ?faults ?on_cell specs =
@@ -532,9 +598,11 @@ let run_grid ?jobs ?pool ?max_time ?(probes = false) ?(profile = false)
   | [] -> List.map (function Ok r -> r | Error _ -> assert false) results
   | timeouts -> raise (Grid_incomplete timeouts)
 
-let average_work ?(seeds = [ 1; 2; 3; 4; 5 ]) ?jobs ?pool ~algo ~adv ~p ~t ~d
-    () =
-  let specs = List.map (fun seed -> spec ~seed ~algo ~adv ~p ~t ~d ()) seeds in
+let average_work ?(seeds = [ 1; 2; 3; 4; 5 ]) ?jobs ?pool ?transport ~algo
+    ~adv ~p ~t ~d () =
+  let specs =
+    List.map (fun seed -> spec ~seed ?transport ~algo ~adv ~p ~t ~d ()) seeds
+  in
   let runs = List.map (fun r -> r.metrics) (run_grid ?jobs ?pool specs) in
   let len = float_of_int (List.length runs) in
   let mean f = List.fold_left (fun acc m -> acc +. f m) 0.0 runs /. len in

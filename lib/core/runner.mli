@@ -69,7 +69,11 @@ val adversaries : adv_spec list
     lossy-all, dup-storm, flaky-restart, chaos. Every chaos adversary
     keeps pid 0 permanently alive, so all registry algorithms terminate
     under them (pinned by [test/test_faults.ml], including at 100%
-    message loss). *)
+    message loss). The shared-channel contention adversaries
+    chan-ordered, chan-ordered-high, chan-rotor, chan-delayed and
+    chan-delayed-ordered ({!Doall_adversary.Chan}) are also registered;
+    their contention rules only bite on a channel transport — on
+    point-to-point they degenerate to [fair]. *)
 
 val find_algo : string -> algo_spec
 (** Raises [Failure] with a message listing known names. *)
@@ -112,6 +116,10 @@ type run_spec = {
   t : int;
   d : int;
   seed : int;
+  transport : Config.transport;
+      (** which network backend the cell runs on; [Config.Ptp] is the
+          paper's reliable point-to-point model, the channel variants
+          are the shared-medium extension of docs/MODEL.md *)
 }
 (** One cell of an experiment grid, by registry name. *)
 
@@ -135,6 +143,7 @@ val run :
   ?profile:bool ->
   ?check:bool ->
   ?faults:Adversary.faults ->
+  ?transport:Config.transport ->
   algo:string ->
   adv:string ->
   p:int ->
@@ -152,7 +161,10 @@ val run :
     engine and stores its snapshot in [result.spans].
     [?check:true] turns on the invariant oracle
     ({!Doall_sim.Oracle}) for the whole run. [?faults] overlays a
-    message-fault policy on the named adversary (the CLI's [--faults]). *)
+    message-fault policy on the named adversary (the CLI's [--faults]).
+    [?transport] (default [Config.Ptp]) selects the network backend;
+    channel runs reject [?faults] ([Invalid_argument], see
+    {!Doall_sim.Engine}). *)
 
 val run_traced :
   ?seed:int ->
@@ -161,6 +173,7 @@ val run_traced :
   ?profile:bool ->
   ?check:bool ->
   ?faults:Adversary.faults ->
+  ?transport:Config.transport ->
   algo:string ->
   adv:string ->
   p:int ->
@@ -179,6 +192,7 @@ exception Grid_incomplete of run_spec list
 
 val spec :
   ?seed:int ->
+  ?transport:Config.transport ->
   algo:string ->
   adv:string ->
   p:int ->
@@ -188,7 +202,10 @@ val spec :
   run_spec
 
 val spec_name : run_spec -> string
-(** ["algo/adv/pP/tT/dD/seedS"], for tables and error messages. *)
+(** ["algo/adv/pP/tT/dD/seedS"], for tables and error messages.
+    Non-point-to-point cells get an ["@transport"] suffix; [Ptp] cells
+    keep the historical unsuffixed form, so pre-transport golden pins
+    stay byte-identical. *)
 
 val pp_spec : Format.formatter -> run_spec -> unit
 (** Readable ["algo/adv/p=…/t=…/d=…/seed=…"] rendering; what the
@@ -197,6 +214,7 @@ val pp_spec : Format.formatter -> run_spec -> unit
 
 val grid :
   ?seeds:int list ->
+  ?transport:Config.transport ->
   algos:string list ->
   advs:string list ->
   points:(int * int * int) list ->
@@ -204,7 +222,7 @@ val grid :
   run_spec list
 (** Cross product [algos x advs x (p, t, d) points x seeds] (seeds
     default [[0]]), in row-major order: the order {!run_grid} returns
-    results in. *)
+    results in. All cells share the [?transport] (default [Ptp]). *)
 
 val run_spec :
   ?max_time:int ->
@@ -260,6 +278,7 @@ val average_work :
   ?seeds:int list ->
   ?jobs:int ->
   ?pool:Pool.t ->
+  ?transport:Config.transport ->
   algo:string ->
   adv:string ->
   p:int ->

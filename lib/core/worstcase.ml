@@ -6,13 +6,13 @@ open Doall_adversary
    bounded, predictable cost. *)
 let default_max_time ~p ~t ~d = 4000 + (60 * (t + d)) + (20 * p)
 
-let evaluator ?(check = true) ?max_time ~algo ~p ~t ~d ~seed () =
+let evaluator ?(check = true) ?max_time ?transport ~algo ~p ~t ~d ~seed () =
   let max_time =
     match max_time with Some m -> m | None -> default_max_time ~p ~t ~d
   in
   fun strategy ->
     let spec =
-      Runner.spec ~seed ~algo
+      Runner.spec ~seed ?transport ~algo
         ~adv:("strategy:" ^ Strategy.to_spec strategy)
         ~p ~t ~d ()
     in
@@ -75,12 +75,31 @@ let default_init ~space =
     specs
 
 let search ?(seed = 0) ?population ?elite ?fitness ?space ?init ?check
-    ?max_time ?wall_cap_s ?on_generation ?pool ?jobs ~algo ~p ~t ~d ~budget ()
-    =
+    ?max_time ?transport ?wall_cap_s ?on_generation ?pool ?jobs ~algo ~p ~t
+    ~d ~budget () =
+  (* channel targets search the chan-rule dimension too; ptp searches
+     stay RNG-identical to before the transport axis existed *)
+  let chan =
+    match transport with
+    | Some (Doall_sim.Config.Channel _) -> true
+    | Some Doall_sim.Config.Ptp | None -> false
+  in
   let space =
-    match space with Some s -> s | None -> default_space ~algo
+    match (space, chan) with
+    | Some (Strategy.Live | Strategy.Full), true ->
+        (* the channel has its own loss model; the engine rejects
+           message-fault policies on it, so a fault space cannot run *)
+        invalid_arg
+          "Worstcase.search: message-fault spaces (live/full) require the \
+           point-to-point transport; use in-model on a channel"
+    | Some s, _ -> s
+    | None, true -> (
+        match default_space ~algo with
+        | Strategy.Live | Strategy.Full -> Strategy.In_model
+        | s -> s)
+    | None, false -> default_space ~algo
   in
   let init = match init with Some l -> l | None -> default_init ~space in
-  let eval = evaluator ?check ?max_time ~algo ~p ~t ~d ~seed () in
-  Synth.search ~seed ?population ?elite ~space ~init ?fitness ?wall_cap_s
-    ?on_generation ?pool ?jobs ~eval ~p ~t ~d ~budget ()
+  let eval = evaluator ?check ?max_time ?transport ~algo ~p ~t ~d ~seed () in
+  Synth.search ~seed ?population ?elite ~space ~init ?fitness ~chan
+    ?wall_cap_s ?on_generation ?pool ?jobs ~eval ~p ~t ~d ~budget ()

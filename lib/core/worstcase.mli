@@ -19,6 +19,7 @@ val default_max_time : p:int -> t:int -> d:int -> int
 val evaluator :
   ?check:bool ->
   ?max_time:int ->
+  ?transport:Doall_sim.Config.transport ->
   algo:string ->
   p:int ->
   t:int ->
@@ -30,8 +31,9 @@ val evaluator :
 (** One candidate = one {!Runner.run_spec} cell with
     [spec_adv = "strategy:" ^ to_spec], run in the calling domain.
     [?check] (default true) audits with the oracle and reports a
-    violation in [e_violation] instead of raising. Deterministic in
-    ([algo], p, t, d, [seed]) except for the measured [e_wall]. *)
+    violation in [e_violation] instead of raising. [?transport] (default
+    point-to-point) runs every candidate on that backend. Deterministic
+    in ([algo], p, t, d, [seed]) except for the measured [e_wall]. *)
 
 val default_space : algo:string -> Strategy.space
 (** [Quorum_safe] for [`Needs_quorum] algorithms (per the registry's
@@ -51,6 +53,7 @@ val search :
   ?init:Strategy.t list ->
   ?check:bool ->
   ?max_time:int ->
+  ?transport:Doall_sim.Config.transport ->
   ?wall_cap_s:float ->
   ?on_generation:(Synth.progress -> unit) ->
   ?pool:Doall_sim.Pool.t ->
@@ -66,4 +69,10 @@ val search :
     population defaulted as above. [?seed] (default 0) drives both the
     search RNG and every candidate run, so a fixed seed makes the whole
     search — including the winning spec — bit-identical across repeated
-    runs and across any [?jobs]. *)
+    runs and across any [?jobs]. A channel [?transport] additionally
+    opens the shared-channel contention dimension to the search
+    ([~chan:true] to {!Synth.search}); point-to-point searches keep
+    their pre-transport RNG sequence. On a channel the default space
+    downgrades [Live]/[Full] to [In_model] — the channel carries its
+    own loss model and the engine rejects message-fault policies on it
+    — and passing a fault space explicitly raises [Invalid_argument]. *)

@@ -85,9 +85,12 @@ let cell t ?check ?faults spec =
   | [ r ] -> r
   | _ -> assert false
 
-let mean_work t ?check ?faults ~seeds ~algo ~adv ~p ~t:tasks ~d () =
+let mean_work t ?check ?faults ?transport ~seeds ~algo ~adv ~p ~t:tasks ~d ()
+    =
   let specs =
-    List.map (fun seed -> Runner.spec ~seed ~algo ~adv ~p ~t:tasks ~d ()) seeds
+    List.map
+      (fun seed -> Runner.spec ~seed ?transport ~algo ~adv ~p ~t:tasks ~d ())
+      seeds
   in
   let runs = List.map (fun r -> r.Runner.metrics) (grid t ?check ?faults specs) in
   let len = float_of_int (List.length runs) in

@@ -62,6 +62,7 @@ val mean_work :
   t ->
   ?check:bool ->
   ?faults:faults ->
+  ?transport:Config.transport ->
   seeds:int list ->
   algo:string ->
   adv:string ->

@@ -8,11 +8,12 @@ type axes = {
   points : (int * int * int) list;
   seeds : int list;
   fault_tags : string list;
+  transports : string list;
 }
 
 let axes ?(algos = []) ?(advs = []) ?(points = []) ?(seeds = [])
-    ?(fault_tags = []) () =
-  { algos; advs; points; seeds; fault_tags }
+    ?(fault_tags = []) ?(transports = []) () =
+  { algos; advs; points; seeds; fault_tags; transports }
 
 type t = {
   id : string;
@@ -77,6 +78,7 @@ let describe e =
   if ax.seeds <> [] then
     line "  seeds:  %s" (comma (List.map string_of_int ax.seeds));
   if ax.fault_tags <> [] then line "  faults: %s" (comma ax.fault_tags);
+  if ax.transports <> [] then line "  transports: %s" (comma ax.transports);
   (match e.tables with
    | [] -> line "  tables: (text-only output)"
    | tables ->

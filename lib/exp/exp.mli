@@ -20,6 +20,9 @@ type axes = {
   fault_tags : string list;
       (** fault-overlay tags swept (e.g. ["drop=0.50"]); [[]] means the
           paper's reliable network *)
+  transports : string list;
+      (** transport backends swept (e.g. ["ptp"; "channel"]); [[]]
+          means point-to-point only, the paper's model *)
 }
 
 val axes :
@@ -28,6 +31,7 @@ val axes :
   ?points:(int * int * int) list ->
   ?seeds:int list ->
   ?fault_tags:string list ->
+  ?transports:string list ->
   unit ->
   axes
 (** All components default to [[]]; axes are descriptive metadata for

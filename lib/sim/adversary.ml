@@ -21,6 +21,12 @@ type faults = oracle -> src:int -> dst:int -> fault_action
 
 type latency = Variable | Fixed of int | Maximal
 
+type channel_policy = {
+  chan_name : string;
+  order : (oracle -> int array -> int array option) option;
+  hold : (oracle -> src:int -> int) option;
+}
+
 type t = {
   name : string;
   schedule : oracle -> bool array;
@@ -29,6 +35,7 @@ type t = {
   crash : oracle -> int list;
   faults : faults option;
   restart : (oracle -> int list) option;
+  channel : channel_policy option;
 }
 
 let no_crash (_ : oracle) = []
@@ -36,11 +43,12 @@ let all_active o = Array.make o.p true
 
 let make ~name ~schedule ~delay ~crash =
   { name; schedule; delay; latency = Variable; crash; faults = None;
-    restart = None }
+    restart = None; channel = None }
 
 let with_faults f adv = { adv with faults = Some f }
 let with_restart r adv = { adv with restart = Some r }
 let with_latency l adv = { adv with latency = l }
+let with_channel c adv = { adv with channel = Some c }
 
 let fair =
   with_latency (Fixed 1)

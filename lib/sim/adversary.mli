@@ -75,6 +75,30 @@ type latency =
     results. Profiles where latency varies per message, per destination,
     or per tick must stay [Variable]. *)
 
+type channel_policy = {
+  chan_name : string;  (** for display and registry names *)
+  order : (oracle -> int array -> int array option) option;
+      (** The {e ordered} adversary class (Klonowski–Kowalski–Mirek, see
+          docs/MODEL.md): given this slot's contenders in ascending pid
+          order, return a permutation of them — the channel grants the
+          slot to the head and defers the rest to the next slot, so the
+          adversary serializes the channel in an order of its choosing.
+          Returning [None] declines to arbitrate {e this slot}: the
+          contenders transmit simultaneously and collide (used by
+          phase-structured strategies whose ordering rule is only active
+          part of the time). A [None] field: never arbitrate. *)
+  hold : (oracle -> src:int -> int) option;
+      (** The {e delayed} adversary class: extra slots a transmission
+          submitted now by [src] is held back before it first contends.
+          The engine clamps the result into [0 .. d - 1], so the
+          per-round delay cap never exceeds the run's delay bound.
+          [None]: transmissions contend in their submission slot. *)
+}
+(** How an adversary exercises a shared-channel transport
+    ({!Config.transport} = [Channel _]). Both fields are inert on
+    point-to-point runs — the engine only consults them when the run's
+    transport is the shared channel. *)
+
 type t = {
   name : string;
   schedule : oracle -> bool array;
@@ -103,6 +127,12 @@ type t = {
           so it has forgotten everything it knew). Restarting a live pid
           is a no-op. Applied at the start of each tick, before
           [crash]. *)
+  channel : channel_policy option;
+      (** [None] — on a shared-channel transport, contenders transmit
+          simultaneously (colliding when two or more contend) and
+          transmissions contend in their submission slot. [Some c] —
+          the ordered/delayed adversary classes of
+          {!type-channel_policy}. Ignored on point-to-point runs. *)
 }
 
 val fair : t
@@ -146,3 +176,8 @@ val with_faults : faults -> t -> t
 
 val with_restart : (oracle -> int list) -> t -> t
 (** Overlay a restart policy (replacing any existing one). *)
+
+val with_channel : channel_policy -> t -> t
+(** Overlay a shared-channel contention policy (replacing any existing
+    one); inert unless the run's transport is a shared channel. Rule
+    builders live in {!Doall_adversary.Chan}. *)

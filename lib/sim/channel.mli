@@ -1,0 +1,110 @@
+(** A multiple-access shared channel (beyond the paper's model; see
+    docs/MODEL.md and the Klonowski–Kowalski–Mirek paper in PAPERS.md).
+
+    Time is slotted: one transmission slot per engine time unit. All
+    outbound traffic of one processor's step — its broadcast and/or
+    unicasts — forms one {e frame}, queued locally at the transmitter.
+    At the end of each tick the channel resolves the slot:
+
+    - exactly one live contender → its frame is delivered, due at the
+      next time unit (the broadcast part to every other processor, each
+      unicast to its destination);
+    - two or more contenders → a collision, unless an arbitration order
+      was supplied (the {e ordered} adversary), in which case the head
+      of the order transmits alone and the rest are deferred one slot.
+
+    Collision semantics are configured at creation
+    ({!Config.collision}): [Silent] loses every colliding frame;
+    [Detectable] re-queues each colliding frame under a deterministic
+    per-pid TDMA backoff (retry at the next slot [u > now] with [u mod p
+    = src]), so distinct transmitters never re-collide with each other
+    and every frame is eventually delivered.
+
+    Message complexity on a broadcast medium: {!sent} counts one unit
+    per {e logical message in a transmission attempt} — a broadcast
+    costs 1 (not [p - 1]: the medium is shared), a unicast costs 1, and
+    attempts lost to collisions still count (the transmitter paid for
+    the slot). This is deliberately a different measure from the
+    point-to-point [M] of Definition 2.2 — see docs/MODEL.md.
+
+    Everything is deterministic: contenders are resolved in ascending
+    pid order, per-destination deliveries are enqueued in slot order,
+    and no randomness is drawn. *)
+
+type 'msg t
+
+val create : p:int -> collision:Config.collision -> unit -> 'msg t
+(** A channel shared by processors [0..p-1]. *)
+
+val p : 'msg t -> int
+val collision : 'msg t -> Config.collision
+
+val transmit :
+  'msg t ->
+  src:int ->
+  release:int ->
+  ?bcast:'msg ->
+  unis:(int * 'msg) list ->
+  unit ->
+  unit
+(** Queue one frame at [src]'s station. [release] is the first slot at
+    which it may contend (the engine derives it from the adversary's
+    [hold] policy; [release = now] contends this very slot). A station
+    transmits at most one frame per slot, oldest first. Frames with
+    neither a broadcast nor unicasts are rejected ([Invalid_argument]),
+    as are self-addressed unicasts. {!sent} advances by the frame's
+    logical message count at submission time. *)
+
+val silence : 'msg t -> pid:int -> unit
+(** Drop every frame still queued at [pid]'s station (a crash: the
+    transmit buffer died with the volatile state). Messages counted in
+    {!sent} stay counted; {!lost} records the discarded payload.
+    Already-delivered traffic is unaffected. *)
+
+type slot = {
+  slot_busy : bool;  (** at least one frame contended *)
+  slot_collided : bool;  (** two or more contended with no arbitration *)
+  slot_delivered : int;  (** logical messages delivered this slot *)
+}
+
+val resolve :
+  'msg t -> now:int -> ?arbitrate:(int array -> int array option) -> unit ->
+  slot
+(** Resolve slot [now]; the engine calls this once per tick, after the
+    stepping loop. [?arbitrate] is the ordered adversary's permutation
+    over the contending pids (ascending); it must return a permutation
+    of its argument ([Invalid_argument] otherwise) or [None] to decline
+    — declining (or omitting [?arbitrate]) lets two or more contenders
+    collide. Slots must be resolved in strictly increasing [now]
+    order. *)
+
+val receive_iter : 'msg t -> dst:int -> now:int -> (int -> 'msg -> unit) -> int
+(** Deliver every message owed to [dst] with due time [<= now], oldest
+    first, as [f src msg]; returns the delivery count. *)
+
+val pending : 'msg t -> int
+(** Deliveries owed but not yet received: queued frames count their
+    eventual fan-out (a broadcast frame counts [p - 1]), resolved
+    deliveries count individually until received. *)
+
+val pending_for : 'msg t -> dst:int -> int
+(** Resolved deliveries waiting in [dst]'s inbox (queued frames are not
+    yet addressed to anyone). *)
+
+val next_due : 'msg t -> dst:int -> int option
+
+val sent : 'msg t -> int
+(** Logical messages across all transmission attempts so far — the
+    shared-channel message complexity (see module doc). *)
+
+val collisions : 'msg t -> int
+(** Slots that ended in a collision. *)
+
+val busy_slots : 'msg t -> int
+(** Slots with at least one contender. *)
+
+val successes : 'msg t -> int
+(** Slots in which a frame was delivered. *)
+
+val lost : 'msg t -> int
+(** Logical messages lost to silent collisions or {!silence}. *)

@@ -1,6 +1,8 @@
 (* See config.mli. *)
 
 type wire = Full | Delta
+type collision = Silent | Detectable
+type transport = Ptp | Channel of collision
 
 type t = {
   p : int;
@@ -8,15 +10,31 @@ type t = {
   seed : int;
   record_trace : bool;
   wire : wire;
+  transport : transport;
 }
 
-let make ?(seed = 0) ?(record_trace = false) ?(wire = Full) ~p ~t () =
+let make ?(seed = 0) ?(record_trace = false) ?(wire = Full) ?(transport = Ptp)
+    ~p ~t () =
   if p <= 0 then invalid_arg "Config.make: p must be positive";
   if t <= 0 then invalid_arg "Config.make: t must be positive";
-  { p; t; seed; record_trace; wire }
+  { p; t; seed; record_trace; wire; transport }
 
 let with_seed cfg seed = { cfg with seed }
 let with_wire cfg wire = { cfg with wire }
+let with_transport cfg transport = { cfg with transport }
+
+let transport_to_string = function
+  | Ptp -> "ptp"
+  | Channel Silent -> "channel"
+  | Channel Detectable -> "channel-detect"
+
+let transport_of_string = function
+  | "ptp" -> Ok Ptp
+  | "channel" | "channel-silent" -> Ok (Channel Silent)
+  | "channel-detect" | "channel-detectable" -> Ok (Channel Detectable)
+  | s ->
+    Error
+      (Printf.sprintf "unknown transport %S (ptp|channel|channel-detect)" s)
 
 let pp ppf cfg =
   Format.fprintf ppf "p=%d t=%d seed=%d" cfg.p cfg.t cfg.seed

@@ -21,22 +21,56 @@
     algorithms just honour whichever encoding the config carries. *)
 type wire = Full | Delta
 
+(** What happens when several processors transmit on a shared channel in
+    the same slot (docs/MODEL.md "beyond the model"). [Silent]: the slot
+    is wasted and every colliding transmission is lost without the
+    transmitters learning of it. [Detectable]: transmitters detect the
+    collision and re-contend in later slots under a deterministic
+    per-pid backoff, so every transmission is eventually delivered. *)
+type collision = Silent | Detectable
+
+(** Which communication medium carries messages. [Ptp]: the paper's
+    reliable fully connected point-to-point network with adversarial
+    per-message delay ({!Network}). [Channel c]: a single multiple-access
+    shared channel with one transmission slot per time unit and collision
+    semantics [c] ({!Channel}) — beyond the paper's model, after
+    Klonowski–Kowalski–Mirek (PAPERS.md). *)
+type transport = Ptp | Channel of collision
+
 type t = private {
   p : int;  (** number of processors, with pids [0..p-1] *)
   t : int;  (** number of tasks, with ids [0..t-1] *)
   seed : int;  (** master seed; all randomness in a run derives from it *)
   record_trace : bool;  (** record per-event traces (costs memory) *)
   wire : wire;  (** knowledge payload encoding (engine-managed) *)
+  transport : transport;  (** communication medium (default [Ptp]) *)
 }
 
 val make :
-  ?seed:int -> ?record_trace:bool -> ?wire:wire -> p:int -> t:int -> unit -> t
-(** Validates [p >= 1] and [t >= 1]. [wire] defaults to [Full]. *)
+  ?seed:int ->
+  ?record_trace:bool ->
+  ?wire:wire ->
+  ?transport:transport ->
+  p:int ->
+  t:int ->
+  unit ->
+  t
+(** Validates [p >= 1] and [t >= 1]. [wire] defaults to [Full],
+    [transport] to [Ptp]. *)
 
 val with_seed : t -> int -> t
 
 val with_wire : t -> wire -> t
 (** Used by the engine to switch delta-safe runs to the sparse
     encoding; see {!type-wire} for when that is sound. *)
+
+val with_transport : t -> transport -> t
+
+val transport_to_string : transport -> string
+(** ["ptp"], ["channel"] (silent collisions) or ["channel-detect"] —
+    the vocabulary of the CLIs' [--transport] flag and of
+    {!Doall_core.Runner.run_spec} names. *)
+
+val transport_of_string : string -> (transport, string) result
 
 val pp : Format.formatter -> t -> unit

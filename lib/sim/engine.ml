@@ -22,6 +22,8 @@ type instruments = {
   i_stream_digest : Probe.gauge; (* net.stream_digest_bytes *)
   i_drops : Probe.counter; (* net.drops *)
   i_dups : Probe.counter; (* net.dups *)
+  i_collisions : Probe.counter; (* net.collisions *)
+  i_busy : Probe.counter; (* net.channel_busy *)
   i_delayed : Probe.vector; (* proc.delayed_steps *)
   i_idle : Probe.vector; (* proc.idle_steps *)
   s_fresh : Probe.series; (* engine.fresh_executions per tick *)
@@ -66,6 +68,8 @@ let instruments probe ~p =
     i_stream_digest = Probe.gauge probe "net.stream_digest_bytes";
     i_drops = Probe.counter probe "net.drops";
     i_dups = Probe.counter probe "net.dups";
+    i_collisions = Probe.counter probe "net.collisions";
+    i_busy = Probe.counter probe "net.channel_busy";
     i_delayed = Probe.vector probe "proc.delayed_steps" ~len:p;
     i_idle = Probe.vector probe "proc.idle_steps" ~len:p;
     s_fresh = Probe.series probe "engine.fresh_executions";
@@ -87,8 +91,14 @@ module Make (A : Algorithm.S) = struct
            the general path by construction (pinned by the golden grid
            and the stream equivalence tests). *)
     stream_delta : int; (* the declared constant, clamped into [1..d] *)
+    chan : bool;
+        (* the run's transport is the multiple-access shared channel:
+           each step's outbound traffic becomes one frame, the slot is
+           resolved at the end of every tick, and the stream fast path
+           is off (its FIFO constant-latency promise cannot survive
+           contention). *)
     states : A.state array;
-    net : A.msg Network.t;
+    net : A.msg Transport.t;
     global_done : Bitset.t;
     alive : bool array;
     halted : bool array;
@@ -152,6 +162,20 @@ module Make (A : Algorithm.S) = struct
     let spans =
       match spans with Some sp -> sp | None -> Span.create ~enabled:false ()
     in
+    let chan =
+      match cfg.Config.transport with
+      | Config.Channel _ -> true
+      | Config.Ptp -> false
+    in
+    (* message-level fault injection (drop/duplicate/reorder) is defined
+       per point-to-point copy; a shared medium has no per-copy channel
+       to corrupt, so the combination is rejected rather than silently
+       ignored *)
+    if chan && (match adversary.Adversary.faults with Some _ -> true | None -> false)
+    then
+      invalid_arg
+        "Engine.create: fault injection requires the point-to-point \
+         transport";
     let stream_delta =
       let constant =
         match adversary.Adversary.latency with
@@ -167,7 +191,10 @@ module Make (A : Algorithm.S) = struct
       in
       match constant with Some k when reliable -> k | _ -> -1
     in
-    let stream = stream_delta >= 0 in
+    (* the stream fast path is a point-to-point construct: shared Bcast
+       records assume every copy of a multicast is individually due at a
+       constant offset, which a contended slotted medium cannot honour *)
+    let stream = (not chan) && stream_delta >= 0 in
     (* Constant latency + reliable FIFO channels is exactly when delta
        payloads are exact (config.mli); switch the wire before states
        are built so algorithms encode accordingly. *)
@@ -179,14 +206,18 @@ module Make (A : Algorithm.S) = struct
         adv = adversary;
         stream;
         stream_delta;
+        chan;
         states = Array.init p (fun pid -> A.init cfg ~pid);
         net =
           (* the digest witness only applies on the stream fast path:
              elsewhere broadcasts fan out as per-destination sends and
              the shared stream never sees a record *)
-          Network.create
-            ?digest:(if stream then A.merge_homomorphic else None)
-            ~horizon:d ~p ();
+          (match cfg.Config.transport with
+           | Config.Ptp ->
+             Transport.create ~transport:Config.Ptp
+               ?digest:(if stream then A.merge_homomorphic else None)
+               ~horizon:d ~p ()
+           | Config.Channel _ as tr -> Transport.create ~transport:tr ~p ());
         global_done = Bitset.create cfg.Config.t;
         alive = Array.make p true;
         halted = Array.make p false;
@@ -321,7 +352,11 @@ module Make (A : Algorithm.S) = struct
           eng.live <- eng.live - 1;
           if not eng.halted.(pid) then unlink_eligible eng pid;
           (* stream implies no restart policy: the crash is permanent *)
-          if eng.stream then Network.deactivate eng.net ~pid;
+          if eng.stream then Transport.deactivate eng.net ~pid;
+          (* on a shared channel the transmit buffer dies with the
+             volatile state; no-op on point-to-point (§2.1: in-flight
+             messages outlive their sender) *)
+          Transport.silence eng.net ~pid;
           if eng.done_seen.(pid) then eng.done_alive <- eng.done_alive - 1;
           if eng.cfg.Config.record_trace then
             Trace.add eng.trace (Trace.Crash { time = eng.time; pid })
@@ -344,7 +379,7 @@ module Make (A : Algorithm.S) = struct
        clock read ({!Span.shift}); the whole step costs four reads. *)
     Span.enter eng.ph.ph_deliver;
     let delivered =
-      Network.receive_iter eng.net ~dst:pid ~now:eng.time (fun src msg ->
+      Transport.receive_iter eng.net ~dst:pid ~now:eng.time (fun src msg ->
           A.receive st ~src msg)
     in
     if eng.ins.obs_on && delivered > 0 then
@@ -369,6 +404,44 @@ module Make (A : Algorithm.S) = struct
        if eng.ins.obs_on then Probe.vincr eng.ins.i_idle pid;
        if eng.cfg.Config.record_trace then
          Trace.add eng.trace (Trace.Step { time = eng.time; pid }));
+    if eng.chan then begin
+      (* Shared channel: the step's whole outbound — broadcast and/or
+         unicasts — is one frame queued at [pid]'s station. The delayed
+         adversary may hold it back (clamped into [0 .. d-1], so the
+         per-round cap never exceeds the run's delay bound) before it
+         first contends. No per-copy [delay] consultation and no
+         latency histogram: delivery timing is decided by slot
+         contention, not by a per-message adversary pick. *)
+      let bcast = r.Algorithm.broadcast in
+      let unis =
+        List.filter (fun (dst, _) -> dst <> pid) r.Algorithm.unicasts
+      in
+      let logical =
+        (match bcast with Some _ -> 1 | None -> 0) + List.length unis
+      in
+      if logical > 0 then begin
+        let hold =
+          match eng.adv.Adversary.channel with
+          | Some { Adversary.hold = Some h; _ } ->
+            let o = oracle eng in
+            max 0 (min (eng.d - 1) (h o ~src:pid))
+          | _ -> 0
+        in
+        Transport.transmit eng.net ~src:pid ~release:(eng.time + hold) ?bcast
+          ~unis ();
+        if eng.ins.obs_on then begin
+          (* net.sends counts logical messages; on the shared medium a
+             broadcast is one (see Channel's module doc on M) *)
+          Probe.add eng.ins.i_sends logical;
+          Probe.observe eng.ins.i_fanout logical
+        end
+      end;
+      if r.Algorithm.broadcast <> None && eng.cfg.Config.record_trace then
+        Trace.add eng.trace
+          (Trace.Broadcast
+             { time = eng.time; src = pid; copies = eng.cfg.Config.p - 1 })
+    end
+    else begin
     (* Per-message delivery deltas feed net.delivery_latency, but paying
        a histogram update per send costs ~10% on broadcast-heavy runs.
        Deltas arrive in runs of equal values (constant for max-delay,
@@ -394,26 +467,26 @@ module Make (A : Algorithm.S) = struct
         (* the reliable network of the paper's model: one branch, no
            extra RNG draws — fault-free runs stay bit-identical *)
         observe_latency delta;
-        Network.send eng.net ~src:pid ~dst ~due:(eng.time + delta) msg
+        Transport.send eng.net ~src:pid ~dst ~due:(eng.time + delta) msg
       | Some f -> (
         match f o ~src:pid ~dst with
         | Adversary.Deliver ->
           observe_latency delta;
-          Network.send eng.net ~src:pid ~dst ~due:(eng.time + delta) msg
+          Transport.send eng.net ~src:pid ~dst ~due:(eng.time + delta) msg
         | Adversary.Drop ->
           (* the algorithm paid for the send: it counts toward M even
              though nothing is enqueued; no latency sample (no delivery) *)
-          Network.count_lost eng.net;
+          Transport.count_lost eng.net;
           if eng.ins.obs_on then Probe.incr eng.ins.i_drops
         | Adversary.Duplicate n ->
           observe_latency delta;
-          Network.send eng.net ~src:pid ~dst ~due:(eng.time + delta) msg;
+          Transport.send eng.net ~src:pid ~dst ~due:(eng.time + delta) msg;
           (* replicas re-draw their latency (a resend travels a fresh
              path) and do not count toward M — the algorithm sent once *)
           for _ = 1 to n do
             let raw' = eng.adv.Adversary.delay o ~src:pid ~dst in
             let delta' = max 1 (min eng.d raw') in
-            Network.send_replica eng.net ~src:pid ~dst
+            Transport.send_replica eng.net ~src:pid ~dst
               ~due:(eng.time + delta') msg
           done;
           if eng.ins.obs_on then Probe.add eng.ins.i_dups (max 0 n)
@@ -422,7 +495,7 @@ module Make (A : Algorithm.S) = struct
              into [1..d] so the calendar-ring horizon still holds *)
           let delta' = max 1 (min eng.d (delta + max 0 j)) in
           observe_latency delta';
-          Network.send eng.net ~src:pid ~dst ~due:(eng.time + delta') msg)
+          Transport.send eng.net ~src:pid ~dst ~due:(eng.time + delta') msg)
     in
     (* ph_bcast has been open since the post-[A.step] shift: it covers
        the step's outbound traffic plus its result bookkeeping. *)
@@ -441,7 +514,7 @@ module Make (A : Algorithm.S) = struct
              lat_v := delta;
              lat_n := p - 1
            end;
-         Network.broadcast eng.net ~src:pid ~due:(eng.time + delta) msg
+         Transport.broadcast eng.net ~src:pid ~due:(eng.time + delta) msg
        end
        else
          for dst = 0 to p - 1 do
@@ -471,6 +544,7 @@ module Make (A : Algorithm.S) = struct
         Probe.add eng.ins.i_sends fan;
         Probe.observe eng.ins.i_fanout fan
       end
+    end
     end;
     Span.leave eng.ph.ph_bcast;
     if r.Algorithm.halt then begin
@@ -479,7 +553,7 @@ module Make (A : Algorithm.S) = struct
       eng.halted_count <- eng.halted_count + 1;
       unlink_eligible eng pid;
       (* a stream run has no restart policy, so the halt is permanent *)
-      if eng.stream then Network.deactivate eng.net ~pid;
+      if eng.stream then Transport.deactivate eng.net ~pid;
       if eng.cfg.Config.record_trace then
         Trace.add eng.trace (Trace.Halt { time = eng.time; pid })
     end;
@@ -529,6 +603,24 @@ module Make (A : Algorithm.S) = struct
       end;
       pid := next
     done;
+    if eng.chan then begin
+      (* resolve this time unit's transmission slot: the ordered
+         adversary (if any) permutes the contenders, serializing the
+         medium in an order of its choosing; otherwise two or more
+         contenders collide *)
+      let arbitrate =
+        match eng.adv.Adversary.channel with
+        | Some { Adversary.order = Some f; _ } ->
+          let o = oracle eng in
+          Some (fun contenders -> f o contenders)
+        | _ -> None
+      in
+      let slot = Transport.resolve eng.net ~now:eng.time ?arbitrate () in
+      if eng.ins.obs_on then begin
+        if slot.Channel.slot_busy then Probe.incr eng.ins.i_busy;
+        if slot.Channel.slot_collided then Probe.incr eng.ins.i_collisions
+      end
+    end;
     if eng.ins.obs_on then begin
       (* per-tick trajectories: cumulative executions and the in-flight
          message backlog (sends minus deliveries so far) *)
@@ -541,12 +633,12 @@ module Make (A : Algorithm.S) = struct
          enter the queue and duplicate replicas are not sends, so the
          arithmetic lies under a faulty network; identical values on a
          reliable one *)
-      let inflight = Network.pending eng.net in
+      let inflight = Transport.pending eng.net in
       Probe.set eng.ins.i_inflight inflight;
       Probe.sample eng.ins.s_inflight ~time inflight;
       (* shared-stream occupancy: retained broadcast records and bytes
          held by cached epoch digests (0 outside the digest path) *)
-      match Network.stream_stats eng.net with
+      match Transport.stream_stats eng.net with
       | Some (records, digest_words) ->
         Probe.set eng.ins.i_stream_pending records;
         Probe.set eng.ins.i_stream_digest (digest_words * (Sys.word_size / 8))
@@ -579,7 +671,7 @@ module Make (A : Algorithm.S) = struct
       t = eng.cfg.Config.t;
       d = eng.d;
       work = eng.work;
-      messages = Network.sent eng.net;
+      messages = Transport.sent eng.net;
       sigma = (if eng.finished then eng.sigma else eng.time);
       executions = eng.executions;
       completed = eng.finished;
@@ -603,8 +695,8 @@ let run_packed (module A : Algorithm.S) cfg ~d ~adversary ?max_time ?probe
 let run_traced (module A : Algorithm.S) cfg ~d ~adversary ?max_time ?probe
     ?spans ?check () =
   let cfg =
-    Config.make ~seed:cfg.Config.seed ~record_trace:true ~p:cfg.Config.p
-      ~t:cfg.Config.t ()
+    Config.make ~seed:cfg.Config.seed ~record_trace:true
+      ~transport:cfg.Config.transport ~p:cfg.Config.p ~t:cfg.Config.t ()
   in
   let module E = Make (A) in
   let eng = E.create ?probe ?spans ?check cfg ~d ~adversary in

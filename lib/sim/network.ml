@@ -25,7 +25,12 @@ let create ?digest ?horizon ~p () =
   if p <= 0 then invalid_arg "Network.create: need at least one processor";
   let backend =
     match horizon with
-    | None -> Heap (Array.init p (fun _ -> Event_queue.create ()))
+    | None ->
+      if digest <> None then
+        invalid_arg
+          "Network.create: ?digest requires ~horizon (heap backends have no \
+           shared broadcast stream to fold)";
+      Heap (Array.init p (fun _ -> Event_queue.create ()))
     | Some h ->
       if h < 1 then invalid_arg "Network.create: horizon must be >= 1";
       Ring

@@ -21,8 +21,10 @@ val create :
     time is at most [h] ahead of the sender's (non-decreasing) clock —
     the engine's delay clamp guarantees exactly this with [h = d].
 
-    [?digest] (horizon networks only; ignored on heap backends) is the
-    algorithm's merge-homomorphism witness
+    [?digest] (horizon networks only; [Invalid_argument] if supplied
+    without [~horizon] — heap backends have no shared broadcast stream
+    to fold, and silently dropping the witness would hide a
+    misconfiguration) is the algorithm's merge-homomorphism witness
     ({!Algorithm.S.merge_homomorphic}): broadcasts due at the same
     instant are pre-folded once and delivered to each receiver as a
     single epoch-digest message with source [-1] (see {!Bcast.create}).

@@ -19,14 +19,15 @@ open Doall_adversary
 
 let fuzz_property ~label ~quorum_safe maker (seed : int) =
   let case = Fuzz_gen.case ~seed ~quorum_safe in
-  let { Fuzz_gen.p; t; d; strategy } = case in
+  let { Fuzz_gen.p; t; d; transport; strategy } = case in
   let adversary = Strategy.into strategy in
-  match Fuzz_audit.audit (maker ()) ~p ~t ~d ~adversary ~seed with
+  match Fuzz_audit.audit ~transport (maker ()) ~p ~t ~d ~adversary ~seed with
   | Ok _ -> true
   | Error e ->
     (* ready-to-run reproducers: the library derivation is shared with
        the CLI, so these rebuild the identical run *)
     let spec = Strategy.to_spec strategy in
+    let tr = Doall_sim.Config.transport_to_string transport in
     Printf.eprintf "fuzz reproducer: doall fuzz --replay %d --algo %s%s\n"
       seed label
       (if quorum_safe && label <> "awq-q4" then " --quorum-safe" else "");
@@ -35,10 +36,11 @@ let fuzz_property ~label ~quorum_safe maker (seed : int) =
     | _ ->
       Printf.eprintf
         "            or: doall run --algo %s --adv 'strategy:%s' -p %d \
-         -t %d -d %d --seed %d --check\n"
-        label spec p t d seed);
-    QCheck2.Test.fail_reportf "p=%d t=%d d=%d seed=%d strategy:%s: %s" p t d
-      seed spec e
+         -t %d -d %d --seed %d --transport %s --check\n"
+        label spec p t d seed tr);
+    QCheck2.Test.fail_reportf
+      "p=%d t=%d d=%d seed=%d transport=%s strategy:%s: %s" p t d seed tr
+      spec e
 
 let fuzz_test ~label ~quorum_safe maker =
   QCheck2.Test.make
